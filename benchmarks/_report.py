@@ -1,0 +1,51 @@
+"""Result-row registry shared by the benchmark modules.
+
+Kept separate from conftest.py so benchmark files can import it without
+colliding with the test suite's conftest module when both directories
+are collected in one pytest invocation.  Sections are merged into a
+JSON sidecar so that running the benchmarks in several chunks still
+produces a complete RESULTS.md.
+"""
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+_SIDECAR = Path(__file__).with_name(".bench_sections.json")
+
+_SESSION_SECTIONS: Dict[str, List[str]] = {}
+
+
+def record_section(title: str, lines: List[str]) -> None:
+    """Register one table/figure's reproduced rows for the final report."""
+    _SESSION_SECTIONS[title] = list(lines)
+
+
+def merged_sections() -> Dict[str, List[str]]:
+    """This session's sections merged over previously stored ones."""
+    stored: Dict[str, List[str]] = {}
+    if _SIDECAR.exists():
+        try:
+            stored = json.loads(_SIDECAR.read_text())
+        except json.JSONDecodeError:
+            stored = {}
+    stored.update(_SESSION_SECTIONS)
+    return stored
+
+
+def persist_sections() -> Dict[str, List[str]]:
+    """Merge, write the sidecar, and return the merged sections."""
+    merged = merged_sections()
+    _SIDECAR.write_text(json.dumps(merged, indent=1))
+    return merged
+
+
+def render(sections: Dict[str, List[str]]) -> str:
+    blocks = []
+    for title, lines in sections.items():
+        blocks.append("\n".join([f"== {title} =="] + lines + [""]))
+    return "\n".join(blocks)
+
+
+def session_has_sections() -> bool:
+    return bool(_SESSION_SECTIONS)

@@ -1,0 +1,232 @@
+"""Design-choice ablations (DESIGN.md section 5).
+
+Not tables in the paper; these quantify the design decisions the paper
+makes implicitly:
+
+* linear vs RBF ranking-SVM kernel (the paper reports "the best result
+  we obtain" over both);
+* CTR-difference-weighted vs unweighted preference pairs;
+* the 2500/500 window partitioning vs no windowing (position bias);
+* the concept vector's multi-term "bubble-up" bonus on vs off;
+* NDCG CTR-bucket resolution (equation 6 fixes 1000 buckets).
+"""
+
+import numpy as np
+
+from _report import record_section
+from repro.clicks.dataset import ClickDataset
+from repro.detection import ConceptVectorScorer
+from repro.eval import RankingExperiment
+from repro.features.relevance import RESOURCE_SNIPPETS
+from repro.ranking import KERNEL_RBF, RankSVM
+
+
+def test_ablation_kernel(benchmark, bench_experiment):
+    def run():
+        linear = bench_experiment.run_model("linear kernel")
+        rbf = bench_experiment.run_model(
+            "rbf kernel", kernel=KERNEL_RBF, gamma=0.3, n_components=300
+        )
+        return linear, rbf
+
+    linear, rbf = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"linear: WER={linear.weighted_error_rate * 100:6.2f}%",
+        f"rbf   : WER={rbf.weighted_error_rate * 100:6.2f}%",
+    ]
+    record_section("Ablation — RankSVM kernel", lines)
+    # both kernels must clearly beat the 50% random line
+    assert linear.weighted_error_rate < 0.35
+    assert rbf.weighted_error_rate < 0.40
+
+
+def test_ablation_pair_weighting(benchmark, bench_experiment):
+    def run():
+        plain = bench_experiment.run_model("unweighted pairs")
+        weighted = bench_experiment.run_model(
+            "weighted pairs",
+            svm=RankSVM(weight_pairs_by_label_gap=True),
+        )
+        return plain, weighted
+
+    plain, weighted = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"unweighted pairs: WER={plain.weighted_error_rate * 100:6.2f}%",
+        f"CTR-gap-weighted: WER={weighted.weighted_error_rate * 100:6.2f}%",
+    ]
+    record_section("Ablation — pair weighting by CTR gap", lines)
+    assert weighted.weighted_error_rate < 0.30
+
+
+def test_ablation_windowing(benchmark, bench_env, bench_dataset):
+    """Windowing combats position bias: without it, far-apart entities
+    form misleading preference pairs (early ones earn position clicks)."""
+
+    def run():
+        no_windows = ClickDataset.from_records(
+            bench_dataset.records, window_chars=10**9, overlap=0
+        )
+        exp_windowed = RankingExperiment(bench_env, bench_dataset)
+        exp_flat = RankingExperiment(bench_env, no_windows)
+        return (
+            exp_windowed.run_model("windowed"),
+            exp_flat.run_model("no windows"),
+            no_windows.window_count,
+        )
+
+    windowed, flat, flat_groups = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"2500/500 windows: WER={windowed.weighted_error_rate * 100:6.2f}% "
+        f"({len(bench_dataset.windows)} groups)",
+        f"whole documents : WER={flat.weighted_error_rate * 100:6.2f}% "
+        f"({flat_groups} groups)",
+    ]
+    record_section("Ablation — window partitioning (Section V-A.1)", lines)
+    assert windowed.weighted_error_rate < 0.30
+    assert flat.weighted_error_rate < 0.50
+
+
+def test_ablation_multi_term_bonus(benchmark, bench_env, bench_experiment):
+    """The concept vector's bubble-up bonus (Section II-B step three)."""
+
+    def run():
+        with_bonus = bench_experiment.evaluate_per_window_scorer(
+            "bonus on",
+            ConceptVectorScorer(
+                bench_env.world.doc_frequency,
+                bench_env.lexicon,
+                multi_term_bonus=True,
+            ),
+        )
+        without = bench_experiment.evaluate_per_window_scorer(
+            "bonus off",
+            ConceptVectorScorer(
+                bench_env.world.doc_frequency,
+                bench_env.lexicon,
+                multi_term_bonus=False,
+            ),
+        )
+        return with_bonus, without
+
+    with_bonus, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"multi-term bonus ON : WER={with_bonus.weighted_error_rate * 100:6.2f}%",
+        f"multi-term bonus OFF: WER={without.weighted_error_rate * 100:6.2f}%",
+    ]
+    record_section("Ablation — concept-vector multi-term bonus", lines)
+    # both stay informative baselines
+    assert with_bonus.weighted_error_rate < 0.45
+    assert without.weighted_error_rate < 0.45
+
+
+def test_ablation_feature_selection(benchmark, bench_experiment):
+    """The paper's backward feature-selection process on our space."""
+    from repro.features import backward_eliminate, numeric_feature_names
+
+    def run():
+        features = bench_experiment.feature_matrix()
+        return backward_eliminate(
+            features,
+            bench_experiment._labels_arr,
+            bench_experiment._groups_arr,
+            numeric_feature_names(),
+            folds=3,
+            min_improvement=0.0005,
+            make_model=lambda: RankSVM(epochs=100),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"start: {len(result.steps[0].kept)} columns, "
+        f"WER={result.steps[0].weighted_error_rate * 100:6.2f}%",
+    ]
+    for step in result.steps[1:]:
+        lines.append(
+            f"  dropped {step.removed:<24s} -> "
+            f"WER={step.weighted_error_rate * 100:6.2f}%"
+        )
+    lines.append(
+        f"selected {len(result.selected)} columns, final "
+        f"WER={result.final_error * 100:6.2f}%"
+    )
+    record_section("Ablation — backward feature selection (paper §IV-A process)",
+                   lines)
+    # selection must never end worse than it started
+    assert result.final_error <= result.steps[0].weighted_error_rate + 1e-9
+    # the strongest query-log signal must survive
+    assert "freq_exact" in result.selected
+
+
+def test_detection_accuracy(benchmark, bench_env):
+    """The paper's first quality dimension: detection accuracy."""
+    from repro.eval import evaluate_detection
+
+    stories = bench_env.stories(150, seed=512)
+    quality = benchmark.pedantic(
+        lambda: evaluate_detection(bench_env.world, bench_env.pipeline, stories),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"span precision: {quality.precision * 100:5.1f}%  "
+        f"recall: {quality.recall * 100:5.1f}%  F1: {quality.f1 * 100:5.1f}%",
+        f"taxonomy type accuracy: {quality.type_accuracy * 100:5.1f}% "
+        f"over {quality.type_total} named detections",
+    ]
+    record_section("Detection accuracy (quality dimension 1 of 3)", lines)
+    assert quality.recall > 0.85
+    assert quality.precision > 0.75
+    assert quality.type_accuracy > 0.9
+
+
+def test_ablation_position_bias(benchmark, bench_env, bench_dataset):
+    """Quantifies the position bias the windowing step corrects for."""
+    from repro.eval import decay_ratio, fitted_decay_chars, position_ctr_curve
+
+    def run():
+        curve = position_ctr_curve(
+            bench_dataset.records, bin_chars=800, max_position=4000
+        )
+        return curve, decay_ratio(curve), fitted_decay_chars(curve)
+
+    curve, ratio, fitted = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"chars {bin_.char_start:4d}-{bin_.char_end:4d}: "
+        f"CTR={bin_.ctr * 100:5.2f}% over {bin_.views} views"
+        for bin_ in curve
+        if bin_.views > 0
+    ]
+    lines.append(
+        f"first/last bin CTR ratio: {ratio:.2f}x; fitted decay constant "
+        f"~{fitted:.0f} chars (click model configured: "
+        f"{bench_env.config.click_model.position_decay_chars:.0f})"
+    )
+    record_section("Ablation — position bias (Section V-A.1 rationale)", lines)
+    assert ratio > 1.0
+
+
+def test_ablation_ndcg_buckets(benchmark, bench_experiment):
+    """Equation 6's bucket resolution: coarser buckets flatten gains."""
+
+    def run():
+        features = bench_experiment.feature_matrix((), RESOURCE_SNIPPETS)
+        model = RankSVM()
+        model.fit(
+            features,
+            bench_experiment._labels_arr,
+            bench_experiment._groups_arr,
+        )
+        scores = model.decision_function(features)
+        return {
+            buckets: bench_experiment.ndcg_with_buckets(scores, buckets, k=1)
+            for buckets in (10, 100, 1000)
+        }
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"buckets={buckets:5d}: ndcg@1={value:.3f}"
+        for buckets, value in sorted(values.items())
+    ]
+    record_section("Ablation — NDCG CTR-bucket resolution", lines)
+    for value in values.values():
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,79 @@
+"""EXTENSION: personalization via collaborative filtering (Section IV-C).
+
+The paper: "personalization and collaborative filtering techniques can
+greatly improve this prediction for individuals by analyzing the
+history of actions taken."  We simulate logged-in users with latent
+topic interests, factorize their train-period interaction matrix, and
+measure per-user pairwise preference accuracy on a held-out period:
+the CF-personalized ordering vs the global-interestingness ordering.
+"""
+
+import numpy as np
+
+from _report import record_section
+from repro.clicks import UserClickModel
+from repro.personalization import (
+    PersonalizedClickSimulator,
+    factorize,
+    generate_users,
+)
+
+
+def test_ext_personalization(benchmark, bench_env):
+    def run():
+        env = bench_env
+        rng = np.random.default_rng(71)
+        users = generate_users(rng, len(env.world.topics), 40)
+        simulator = PersonalizedClickSimulator(
+            env.world,
+            env.pipeline,
+            users,
+            UserClickModel(seed=29),
+            personalization_weight=0.75,
+            views_per_session=20,
+        )
+        stories = env.stories(80, seed=404)
+        train = simulator.simulate(stories, sessions=6000, seed=1)
+        test = simulator.simulate(stories, sessions=3000, seed=2)
+        model = factorize(train, rank=8)
+
+        # held-out evaluation: order concept pairs per user by test CTR
+        test_ctr = test.ctr()
+        test_views = test.views
+        interestingness = np.asarray(
+            [c.interestingness for c in env.world.concepts]
+        )
+        global_correct = personal_correct = total = 0
+        for user in users:
+            seen = np.flatnonzero(test_views[user.user_id] >= 40)
+            predicted = model.predict_user(user.user_id)
+            for i_pos, i in enumerate(seen):
+                for j in seen[i_pos + 1 :]:
+                    gap = test_ctr[user.user_id, i] - test_ctr[user.user_id, j]
+                    if abs(gap) < 0.01:
+                        continue
+                    total += 1
+                    truth = gap > 0
+                    global_correct += (
+                        interestingness[i] > interestingness[j]
+                    ) == truth
+                    personal_correct += (predicted[i] > predicted[j]) == truth
+        return total, global_correct, personal_correct
+
+    total, global_correct, personal_correct = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    global_acc = global_correct / total
+    personal_acc = personal_correct / total
+    lines = [
+        f"held-out per-user preference pairs: {total}",
+        f"global interestingness ordering : {global_acc * 100:5.1f}% correct",
+        f"CF-personalized ordering        : {personal_acc * 100:5.1f}% correct "
+        f"({(personal_acc - global_acc) * 100:+.1f}pp)",
+    ]
+    record_section(
+        "Extension — collaborative-filtering personalization", lines
+    )
+
+    assert total > 200
+    assert personal_acc > global_acc

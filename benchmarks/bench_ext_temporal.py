@@ -1,0 +1,37 @@
+"""EXTENSION: temporal/trend features (paper Section IV-C future work).
+
+Not a table in the paper — the authors defer trend awareness to future
+work.  This benchmark quantifies it on the synthetic world: breaking-
+news events spike a concept's query volume and CTR for a week; adding
+``spike_ratio`` and ``momentum`` features (from weekly query logs) to
+the static Table I space should reduce the weighted error rate, most
+visibly inside the event-affected ranking groups.
+"""
+
+from _report import record_section
+from repro.eval import temporal_feature_experiment
+
+
+def test_ext_temporal_features(benchmark, bench_env):
+    result = benchmark.pedantic(
+        lambda: temporal_feature_experiment(
+            bench_env, weeks=8, stories_per_week=50, events_per_week=12.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"entities: {result.entity_count} "
+        f"({result.event_entity_count} on spiking concepts)",
+        f"overall WER:       static={result.static_wer * 100:6.2f}%  "
+        f"+temporal={result.temporal_wer * 100:6.2f}%  "
+        f"({result.improvement_percent:+.1f}%)",
+        f"event-window WER:  static={result.event_static_wer * 100:6.2f}%  "
+        f"+temporal={result.event_temporal_wer * 100:6.2f}%  "
+        f"({result.event_improvement_percent:+.1f}%)",
+    ]
+    record_section("Extension — temporal trend features (paper future work)", lines)
+
+    # trend features must help where events occur and never hurt overall
+    assert result.event_temporal_wer < result.event_static_wer
+    assert result.temporal_wer < result.static_wer + 0.01

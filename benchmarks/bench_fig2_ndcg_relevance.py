@@ -1,0 +1,38 @@
+"""Figure 2: NDCG@{1,2,3} for relevance-score-only rankings.
+
+The paper's chart mirrors Table IV: snippets on top, Prisma and
+suggestions well below, all above random.
+"""
+
+from _report import record_section
+from repro.features.relevance import (
+    RESOURCE_PRISMA,
+    RESOURCE_SNIPPETS,
+    RESOURCE_SUGGESTIONS,
+)
+
+
+def test_fig2_ndcg_relevance(benchmark, bench_experiment):
+    def run():
+        return {
+            "random": bench_experiment.run_random(),
+            RESOURCE_SNIPPETS: bench_experiment.run_relevance_only(RESOURCE_SNIPPETS),
+            RESOURCE_PRISMA: bench_experiment.run_relevance_only(RESOURCE_PRISMA),
+            RESOURCE_SUGGESTIONS: bench_experiment.run_relevance_only(
+                RESOURCE_SUGGESTIONS
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.eval import render_ndcg_figure
+
+    lines = render_ndcg_figure(list(results.values()))
+    record_section("Figure 2 — NDCG with relevance-only ranking", lines)
+
+    for k in (1, 2, 3):
+        assert results[RESOURCE_SNIPPETS].ndcg[k] > results[RESOURCE_PRISMA].ndcg[k]
+        assert (
+            results[RESOURCE_SNIPPETS].ndcg[k]
+            > results[RESOURCE_SUGGESTIONS].ndcg[k]
+        )
+        assert results[RESOURCE_SNIPPETS].ndcg[k] > results["random"].ndcg[k]

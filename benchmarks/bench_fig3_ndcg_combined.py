@@ -1,0 +1,33 @@
+"""Figure 3: NDCG@{1,2,3} with interestingness + relevance features.
+
+The paper's final chart: the combined model dominates every other
+ranker at every cutoff.
+"""
+
+from _report import record_section
+from repro.features.relevance import RESOURCE_SNIPPETS
+
+
+def test_fig3_ndcg_combined(benchmark, bench_experiment):
+    def run():
+        return {
+            "random": bench_experiment.run_random(),
+            "concept vector": bench_experiment.run_concept_vector(),
+            "interestingness": bench_experiment.run_model("interestingness"),
+            "combined": bench_experiment.run_model(
+                "interestingness + relevance",
+                relevance_resource=RESOURCE_SNIPPETS,
+                tie_break_with_relevance=True,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.eval import render_ndcg_figure
+
+    lines = render_ndcg_figure(list(results.values()))
+    record_section("Figure 3 — NDCG with all features", lines)
+
+    for k in (1, 2, 3):
+        assert results["combined"].ndcg[k] >= results["interestingness"].ndcg[k] - 0.01
+        assert results["combined"].ndcg[k] > results["concept vector"].ndcg[k]
+        assert results["combined"].ndcg[k] > results["random"].ndcg[k]

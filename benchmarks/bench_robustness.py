@@ -1,0 +1,27 @@
+"""Seed robustness: the headline orderings across independent worlds.
+
+Not a paper table — a reproduction-quality check.  The Table V
+orderings must hold in freshly generated worlds, not just the
+benchmark seed.
+"""
+
+from _report import record_section
+from repro.eval import EXPECTED_ORDERINGS, seed_sweep
+
+
+def test_seed_robustness(benchmark):
+    result = benchmark.pedantic(
+        lambda: seed_sweep(seeds=[11, 222, 3333]), rounds=1, iterations=1
+    )
+    lines = [
+        f"{ranker:<24s} WER = "
+        f"{result.mean(ranker) * 100:6.2f}% +/- {result.std(ranker) * 100:4.2f}% "
+        f"over seeds {result.seeds}"
+        for ranker in result.wer
+    ]
+    for better, worse in EXPECTED_ORDERINGS:
+        rate = result.ordering_hold_rate(better, worse)
+        lines.append(f"ordering {better} < {worse}: holds {rate * 100:.0f}%")
+    record_section("Robustness — Table V orderings across seeds", lines)
+
+    assert result.all_orderings_hold_everywhere()

@@ -1,0 +1,45 @@
+"""Table III: weighted error rates with interestingness features.
+
+Paper:
+    Random                       50.01
+    Concept Vector Score         30.22
+    All Features                 23.69
+    - Query Logs                 24.50
+    - Taxonomy Based             24.47
+    - Search Results             23.80
+    - Other                      23.78
+    - Text Based                 23.73
+
+Shape: random ~50%; baseline clearly better than random; the learned
+model clearly better than the baseline; removing the query-log group
+hurts most, taxonomy second; the other ablations are near-noise.
+"""
+
+from _report import record_section
+from repro.eval import table3_interestingness
+
+from repro.paperdata import TABLE3_WER as PAPER_ROWS
+
+
+def test_table3_interestingness(benchmark, bench_experiment):
+    results = benchmark.pedantic(
+        lambda: table3_interestingness(bench_experiment), rounds=1, iterations=1
+    )
+    by_name = {r.name: r for r in results}
+    lines = [
+        f"{r.name:<24s} measured WER={r.weighted_error_rate * 100:6.2f}%   "
+        f"paper={PAPER_ROWS.get(r.name, float('nan')):6.2f}%"
+        for r in results
+    ]
+    record_section("Table III — interestingness features (weighted error rate)", lines)
+
+    random_wer = by_name["random"].weighted_error_rate
+    baseline = by_name["concept vector score"].weighted_error_rate
+    learned = by_name["all features"].weighted_error_rate
+    assert 0.45 < random_wer < 0.55
+    assert baseline < random_wer - 0.05
+    assert learned < baseline - 0.05
+    # the query-log ablation must hurt the most
+    ablations = {r.name: r.weighted_error_rate for r in results if r.name.startswith("-")}
+    assert ablations["- query_logs"] == max(ablations.values())
+    assert ablations["- query_logs"] > learned

@@ -1,0 +1,44 @@
+"""Table IV: ranking by relevance score alone, per mining resource.
+
+Paper:
+    Random                       50.01
+    Concept Vector Score         30.22
+    Best Interestingness Model   23.69
+    Prisma                       32.32
+    Query Suggestions            31.23
+    Snippets                     24.86
+
+Shape: snippets clearly the best relevance resource (it "provides much
+better coverage of keywords"); Prisma and suggestions much weaker —
+both near or worse than the production baseline.
+"""
+
+from _report import record_section
+from repro.eval import table4_relevance
+
+from repro.paperdata import TABLE4_WER as PAPER_ROWS
+
+
+def test_table4_relevance(benchmark, bench_experiment):
+    results = benchmark.pedantic(
+        lambda: table4_relevance(bench_experiment), rounds=1, iterations=1
+    )
+    by_name = {r.name: r for r in results}
+    lines = [
+        f"{r.name:<30s} measured WER={r.weighted_error_rate * 100:6.2f}%   "
+        f"paper={PAPER_ROWS.get(r.name, float('nan')):6.2f}%"
+        for r in results
+    ]
+    record_section("Table IV — relevance-score-only ranking", lines)
+
+    snippets = by_name["relevance only (snippets)"].weighted_error_rate
+    prisma = by_name["relevance only (prisma)"].weighted_error_rate
+    suggestions = by_name["relevance only (suggestions)"].weighted_error_rate
+    random_wer = by_name["random"].weighted_error_rate
+
+    # snippets beat both other resources by a wide margin
+    assert snippets < prisma - 0.05
+    assert snippets < suggestions - 0.05
+    # every resource is still informative (beats random)
+    for value in (snippets, prisma, suggestions):
+        assert value < random_wer - 0.05

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Breaking news: online CTR feedback + temporal trend features.
+
+Demonstrates the paper's Section VIII future-work scenario end to end:
+a world event makes a previously dull concept spike; the offline model
+keeps ranking it low, but (a) the online CTR tracker boosts it within
+the same week, and (b) the temporal query-log features identify the
+spike from search behaviour alone.
+
+Run:  python examples/breaking_news.py
+"""
+
+import numpy as np
+
+from repro import Environment, EnvironmentConfig, WorldConfig
+from repro.clicks import OnlineCtrTracker, OnlineScoreAdjuster
+from repro.querylog import WorldEvent, generate_temporal_query_log
+
+WORLD = WorldConfig(
+    seed=43,
+    vocabulary_size=1800,
+    topic_count=24,
+    words_per_topic=50,
+    concept_count=220,
+    topic_page_count=150,
+)
+
+
+def main() -> None:
+    print("building environment ...")
+    env = Environment.build(EnvironmentConfig(world=WORLD))
+
+    # pick a dull (but not hopeless) concept to be this week's breaking story
+    dull = min(
+        (
+            c
+            for c in env.world.concepts
+            if not c.is_junk and c.home_topics and c.interestingness > 0.12
+        ),
+        key=lambda c: c.interestingness,
+    )
+    print(
+        f"\nbreaking concept: {dull.phrase!r} "
+        f"(latent interestingness {dull.interestingness:.2f} -> spikes 6x)"
+    )
+
+    # --- temporal query logs see the spike ------------------------------
+    rng = np.random.default_rng(99)
+    events = [WorldEvent(week=3, concept_id=dull.concept_id, intensity=6.0)]
+    temporal = generate_temporal_query_log(
+        rng,
+        env.world.concepts,
+        env.world.topics,
+        env.world.vocabulary,
+        weeks=4,
+        events=events,
+    )
+    volumes = temporal.weekly_frequencies(tuple(dull.terms))
+    print(f"weekly query volume: {volumes}")
+    print(
+        f"spike_ratio in event week: "
+        f"{temporal.spike_ratio(tuple(dull.terms), week=3):.2f} "
+        f"(quiet weeks ~1.0)"
+    )
+
+    # --- online click feedback reacts within the week --------------------
+    tracker = OnlineCtrTracker()
+    # normal traffic: everything clicks at its usual rate
+    model = env.click_model(seed=5)
+    for concept in env.world.concepts[:80]:
+        probability = model.click_probability(concept.interestingness, 0.8, 0)
+        views = 400
+        tracker.observe(concept.phrase, views, int(probability * views))
+    print(f"\nglobal live CTR: {tracker.global_ctr * 100:.2f}%")
+    print(
+        f"{dull.phrase!r} live CTR before the event: "
+        f"{tracker.ctr(dull.phrase) * 100:.2f}%"
+    )
+
+    # the event: users suddenly click the dull concept heavily
+    boosted = model.click_probability(
+        min(1.0, dull.interestingness * 6.0), 0.9, 0
+    )
+    for __ in range(8):
+        tracker.observe(dull.phrase, 500, int(boosted * 500))
+    print(
+        f"{dull.phrase!r} live CTR during the event: "
+        f"{tracker.ctr(dull.phrase) * 100:.2f}%"
+    )
+
+    adjuster = OnlineScoreAdjuster(tracker, strength=1.0)
+    # rivals from the same mid-tier: the offline model cannot separate
+    # them from the breaking concept
+    rivals = [
+        c
+        for c in env.world.concepts[:80]
+        if not c.is_junk and 0.12 < c.interestingness < 0.35
+        and c.concept_id != dull.concept_id
+    ][:4]
+    phrases = [dull.phrase] + [c.phrase for c in rivals]
+    offline_scores = [1.0] * len(phrases)
+    print("\noffline ranking vs online-adjusted ranking:")
+    offline_order = [
+        p for __, p in sorted(zip(offline_scores, phrases), reverse=True)
+    ]
+    adjusted = adjuster.rerank(phrases, offline_scores)
+    print(f"  offline : {offline_order}")
+    print(f"  adjusted: {[p for p, __ in adjusted]}")
+    if adjusted[0][0] == dull.phrase:
+        print(
+            "\nthe spiking concept was promoted to the top — the system "
+            "'reacts intelligently to world events in real time' (paper §VIII)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""User-centric entity detection on news: train on clicks, annotate top-3.
+
+Reproduces the paper's core workflow end to end:
+
+1. the baseline production system annotates sampled news stories;
+2. user clicks are tracked, filtered, and windowed into a dataset;
+3. a ranking SVM learns from the CTR preference pairs;
+4. new stories are annotated with only the learned top-3 concepts,
+   and we verify against the latent ground truth that the selection
+   quality improved over the concept-vector baseline.
+
+Run:  python examples/news_annotation.py
+"""
+
+import numpy as np
+
+from repro import Environment, EnvironmentConfig, WorldConfig
+from repro.eval import RankingExperiment, collect_dataset, train_combined_ranker
+
+WORLD = WorldConfig(
+    seed=11,
+    vocabulary_size=1800,
+    topic_count=24,
+    words_per_topic=50,
+    concept_count=240,
+    topic_page_count=150,
+)
+
+
+def selection_quality(env, story, phrases):
+    """Mean latent (interestingness x relevance) of the selected concepts."""
+    values = []
+    for phrase in phrases:
+        concept = env.world.concept_by_phrase(phrase)
+        values.append(
+            concept.interestingness * max(story.relevance_of(concept.concept_id), 0.05)
+        )
+    return float(np.mean(values)) if values else 0.0
+
+
+def main() -> None:
+    print("building environment ...")
+    env = Environment.build(EnvironmentConfig(world=WORLD))
+
+    print("tracking clicks on 250 sampled stories with the baseline system ...")
+    dataset = collect_dataset(env, 250, story_seed=1)
+    print(
+        f"  kept {dataset.story_count} stories -> {dataset.window_count} windows, "
+        f"{dataset.entity_count} tracked entities, {dataset.total_clicks} clicks"
+    )
+
+    print("training the ranking SVM on CTR preference pairs ...")
+    experiment = RankingExperiment(env, dataset)
+    learned = experiment.run_model(
+        "combined", relevance_resource="snippets", tie_break_with_relevance=True
+    )
+    baseline = experiment.run_concept_vector()
+    print(f"  baseline  (cross-validated): {baseline.row()}")
+    print(f"  learned   (cross-validated): {learned.row()}")
+
+    ranker = train_combined_ranker(env, experiment)
+
+    print("\nannotating 30 fresh stories with top-3 concepts:")
+    fresh = env.stories(30, seed=999)
+    base_quality, learned_quality = [], []
+    for story in fresh:
+        annotated = env.pipeline.process(story.text)
+        known = {c.phrase.lower() for c in env.world.concepts}
+        base_top = [
+            d.phrase
+            for d in annotated.by_concept_vector_score()
+            if d.phrase in known
+        ][:3]
+        learned_top = [d.phrase for d in ranker.rank_document(annotated)[:3]]
+        base_quality.append(selection_quality(env, story, base_top))
+        learned_quality.append(selection_quality(env, story, learned_top))
+
+    print(
+        f"  mean latent quality of top-3: baseline={np.mean(base_quality):.3f}  "
+        f"learned={np.mean(learned_quality):.3f}  "
+        f"(+{(np.mean(learned_quality) / np.mean(base_quality) - 1) * 100:.0f}%)"
+    )
+
+    story = fresh[0]
+    annotated = env.pipeline.process(story.text)
+    print("\nexample story, learned top-3 annotations:")
+    for detection in ranker.top_detections(annotated, 3):
+        concept = env.world.concept_by_phrase(detection.phrase)
+        print(
+            f"  {detection.phrase:<34s} model score={detection.score:7.3f} "
+            f"[I={concept.interestingness:.2f} "
+            f"R={story.relevance_of(concept.concept_id):.2f}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Personalized concept ranking via collaborative filtering.
+
+The paper (Section IV-C): "In cases where the application supports a
+user login, we believe that personalization and collaborative filtering
+techniques can greatly improve this prediction for individuals by
+analyzing the history of actions taken."
+
+This example simulates logged-in users with topic interests, factorizes
+their interaction matrix, and shows how the same story is annotated
+differently for a sports-lover vs a politics-lover.
+
+Run:  python examples/personalized_ranking.py
+"""
+
+import numpy as np
+
+from repro import Environment, EnvironmentConfig, WorldConfig
+from repro.clicks import UserClickModel
+from repro.personalization import (
+    PersonalizedClickSimulator,
+    PersonalizedScorer,
+    factorize,
+    generate_users,
+)
+
+WORLD = WorldConfig(
+    seed=51,
+    vocabulary_size=1800,
+    topic_count=24,
+    words_per_topic=50,
+    concept_count=220,
+    topic_page_count=150,
+)
+
+
+def main() -> None:
+    print("building environment ...")
+    env = Environment.build(EnvironmentConfig(world=WORLD))
+
+    rng = np.random.default_rng(0)
+    users = generate_users(rng, len(env.world.topics), 40)
+    print(f"simulating reading history for {len(users)} logged-in users ...")
+    simulator = PersonalizedClickSimulator(
+        env.world,
+        env.pipeline,
+        users,
+        UserClickModel(seed=9),
+        personalization_weight=0.75,
+        views_per_session=25,
+    )
+    stories = env.stories(60, seed=77)
+    matrix = simulator.simulate(stories, sessions=6000, seed=2)
+    print(
+        f"  interaction matrix: {matrix.user_count} users x "
+        f"{matrix.concept_count} concepts, density {matrix.density * 100:.1f}%"
+    )
+
+    print("factorizing (weighted ALS, rank 8) ...")
+    model = factorize(matrix, rank=8)
+    scorer = PersonalizedScorer(
+        model,
+        {c.phrase: c.concept_id for c in env.world.concepts},
+        strength=1.0,
+    )
+
+    story = env.stories(1, seed=31337)[0]
+    annotated = env.pipeline.process(story.text)
+    known = {c.phrase.lower() for c in env.world.concepts}
+    candidates = [d.phrase for d in annotated.rankable() if d.phrase in known]
+    base_scores = [0.0] * len(candidates)  # neutral global model
+
+    # two users whose pet topics both occur among the story's candidates
+    candidate_topics = sorted(
+        {
+            topic
+            for phrase in candidates
+            for topic in env.world.concept_by_phrase(phrase).home_topics
+        }
+    )
+    topic_a, topic_b = candidate_topics[0], candidate_topics[-1]
+    user_a = max(users, key=lambda u: u.topic_affinity[topic_a])
+    user_b = max(users, key=lambda u: u.topic_affinity[topic_b])
+    print(
+        f"\nstory candidates span topics {candidate_topics}; "
+        f"user A loves topic {topic_a}, user B loves topic {topic_b}"
+    )
+
+    for label, user in (("A", user_a), ("B", user_b)):
+        adjusted = scorer.adjust_scores(user.user_id, candidates, base_scores)
+        order = np.argsort(-adjusted)
+        print(f"\ntop-3 for user {label}:")
+        for index in order[:3]:
+            phrase = candidates[int(index)]
+            concept = env.world.concept_by_phrase(phrase)
+            print(
+                f"  {phrase:<34s} cf-score={adjusted[int(index)]:+.3f} "
+                f"home_topics={concept.home_topics}"
+            )
+
+
+if __name__ == "__main__":
+    main()

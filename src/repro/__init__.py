@@ -1,0 +1,65 @@
+"""repro — reproduction of "Contextual Ranking of Keywords Using Click Data"
+(Irmak, von Brzeski, Kraft; ICDE 2009).
+
+The package implements the full Contextual Shortcuts stack — entity
+detection, concept-vector baseline, the interestingness/relevance
+feature space, click-trained ranking SVM, and the production runtime —
+together with a synthetic substrate (web corpus, query logs, search
+engine, Wikipedia, editorial dictionaries, user click model) standing
+in for the paper's proprietary Yahoo! resources.
+
+Quickstart::
+
+    from repro import Environment, EnvironmentConfig, WorldConfig
+
+    env = Environment.build(EnvironmentConfig(world=WorldConfig(seed=7)))
+    story = env.stories(1)[0]
+    annotated = env.pipeline.process(story.text)
+    for detection in annotated.by_concept_vector_score()[:5]:
+        print(detection.phrase, detection.score)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.corpus import SyntheticWorld, WorldConfig
+from repro.detection import (
+    AnnotatedDocument,
+    ConceptDetector,
+    ConceptVectorScorer,
+    Detection,
+    NamedEntityDetector,
+    PatternDetector,
+    ShortcutsPipeline,
+)
+from repro.eval import (
+    Environment,
+    EnvironmentConfig,
+    RankingExperiment,
+    collect_dataset,
+    train_combined_ranker,
+)
+from repro.ranking import ConceptRanker, FeatureAssembler, RankSVM
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SyntheticWorld",
+    "WorldConfig",
+    "AnnotatedDocument",
+    "ConceptDetector",
+    "ConceptVectorScorer",
+    "Detection",
+    "NamedEntityDetector",
+    "PatternDetector",
+    "ShortcutsPipeline",
+    "Environment",
+    "EnvironmentConfig",
+    "RankingExperiment",
+    "collect_dataset",
+    "train_combined_ranker",
+    "ConceptRanker",
+    "FeatureAssembler",
+    "RankSVM",
+    "__version__",
+]

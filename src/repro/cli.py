@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — build a small world, annotate a story, print the baseline
+  ranking (the paper's Section II-B example flow);
+* ``experiment <name>`` — run one of the paper's experiments
+  (table2/table3/table4/table5/editorial/production/temporal) at a
+  configurable scale and print the measured rows;
+* ``rank <file>`` — train the combined ranker in a small world and rank
+  the detectable concepts of an arbitrary text file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.corpus import WorldConfig
+from repro.eval import (
+    Environment,
+    EnvironmentConfig,
+    RankingExperiment,
+    collect_dataset,
+    production_ctr_experiment,
+    table2_summations,
+    table3_interestingness,
+    table4_relevance,
+    table5_combined,
+    table6_editorial,
+    temporal_feature_experiment,
+    train_combined_ranker,
+)
+
+_DEMO_WORLD = WorldConfig(
+    seed=7,
+    vocabulary_size=1500,
+    topic_count=16,
+    words_per_topic=50,
+    concept_count=180,
+    topic_page_count=120,
+)
+
+_EXPERIMENT_WORLD = WorldConfig(
+    seed=42,
+    vocabulary_size=2500,
+    topic_count=30,
+    words_per_topic=60,
+    concept_count=400,
+    topic_page_count=300,
+)
+
+# --quick: a much smaller world for smoke runs and tests
+_QUICK_WORLD = WorldConfig(
+    seed=42,
+    vocabulary_size=1200,
+    topic_count=12,
+    words_per_topic=40,
+    concept_count=120,
+    topic_page_count=80,
+)
+
+
+def _build_env(world: WorldConfig, quiet: bool = False) -> Environment:
+    if not quiet:
+        print("building synthetic environment ...", flush=True)
+    return Environment.build(EnvironmentConfig(world=world))
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    env = _build_env(_DEMO_WORLD)
+    story = env.stories(1, seed=args.seed)[0]
+    annotated = env.pipeline.process(story.text)
+    print(f"\nstory ({len(story.text)} chars), "
+          f"{len(annotated.detections)} detections\n")
+    print("top concepts by concept-vector score:")
+    for detection in annotated.by_concept_vector_score()[: args.top]:
+        print(f"  {detection.phrase:<36s} {detection.score:7.3f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    env = _build_env(_QUICK_WORLD if args.quick else _EXPERIMENT_WORLD)
+    if args.name == "table2":
+        for row in table2_summations(env):
+            print(f"{row.phrase:<44s} {row.summation:10.1f}  ({row.kind})")
+        return 0
+
+    print(f"collecting click data over {args.stories} stories ...", flush=True)
+    dataset = collect_dataset(env, args.stories)
+    print(
+        f"dataset: {dataset.story_count} stories, {dataset.window_count} "
+        f"windows, {dataset.entity_count} entities"
+    )
+    experiment = RankingExperiment(env, dataset)
+
+    if args.name == "table3":
+        for result in table3_interestingness(experiment):
+            print(result.row())
+    elif args.name == "table4":
+        for result in table4_relevance(experiment):
+            print(result.row())
+    elif args.name == "table5":
+        for result in table5_combined(experiment):
+            print(result.row())
+    elif args.name == "editorial":
+        ranker = train_combined_ranker(env, experiment)
+        results = table6_editorial(env, ranker, news_count=60, answers_count=120)
+        for ranker_name, per_content in results.items():
+            for content, table in per_content.items():
+                print(
+                    f"{ranker_name:<22s} {content:<8s} "
+                    f"not-interesting={table.interestingness['not'] * 100:5.1f}% "
+                    f"not-relevant={table.relevance['not'] * 100:5.1f}%"
+                )
+    elif args.name == "production":
+        ranker = train_combined_ranker(env, experiment)
+        cmp = production_ctr_experiment(
+            env, ranker, annotate_top=5, stories_per_week=15,
+            before_weeks=8, after_weeks=6,
+        )
+        print(f"views  change: {cmp.views_change_percent:+6.1f}%")
+        print(f"clicks change: {cmp.clicks_change_percent:+6.1f}%")
+        print(f"CTR    change: {cmp.ctr_change_percent:+6.1f}%")
+    elif args.name == "temporal":
+        result = temporal_feature_experiment(env)
+        print(
+            f"static WER={result.static_wer * 100:.2f}%  "
+            f"+temporal WER={result.temporal_wer * 100:.2f}%  "
+            f"event windows: {result.event_static_wer * 100:.2f}% -> "
+            f"{result.event_temporal_wer * 100:.2f}%"
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.name)
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    """Print the statistics of a synthetic world build."""
+    env = _build_env(_QUICK_WORLD if args.quick else _EXPERIMENT_WORLD)
+    world = env.world
+    named = world.named_entities()
+    junk = world.junk_concepts()
+    multi = [c for c in world.concepts if len(c.terms) > 1]
+    print(f"seed               : {world.config.seed}")
+    print(f"vocabulary         : {len(world.vocabulary)} words "
+          f"(zipf {world.vocabulary.zipf_exponent})")
+    print(f"topics             : {len(world.topics)}")
+    print(f"concepts           : {len(world.concepts)} "
+          f"({len(named)} named, {len(junk)} junk, {len(multi)} multi-term)")
+    print(f"web corpus         : {len(world.web_corpus)} pages, "
+          f"{world.doc_frequency.total_documents} indexed")
+    print(f"query log          : {len(env.query_log)} distinct queries, "
+          f"{env.query_log.total_submissions} submissions")
+    print(f"unit lexicon       : {len(env.lexicon)} units "
+          f"({len(env.lexicon.multi_term_units())} multi-term)")
+    print(f"detectable phrases : {env.concept_detector.inventory_size}")
+    print(f"dictionary entries : {len(world.dictionary)}")
+    print(f"wikipedia articles : {len(world.wikipedia)}")
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file) as handle:
+            text = handle.read()
+    except OSError as error:
+        print(f"cannot read {args.file}: {error}", file=sys.stderr)
+        return 1
+    env = _build_env(_DEMO_WORLD)
+    dataset = collect_dataset(env, args.stories)
+    experiment = RankingExperiment(env, dataset)
+    ranker = train_combined_ranker(env, experiment)
+    annotated = env.pipeline.process(text, is_html=args.html)
+    ranked = ranker.rank_document(annotated)
+    if not ranked:
+        print("no detectable concepts in the input "
+              "(the demo world only knows its own synthetic inventory)")
+        return 0
+    for detection in ranked[: args.top]:
+        print(f"  {detection.phrase:<36s} {detection.score:7.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contextual Ranking of Keywords Using Click Data (ICDE"
+        " 2009) — reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="annotate one synthetic story")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--top", type=int, default=5)
+    demo.set_defaults(handler=_cmd_demo)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "table2", "table3", "table4", "table5",
+            "editorial", "production", "temporal",
+        ],
+    )
+    experiment.add_argument("--stories", type=int, default=300)
+    experiment.add_argument(
+        "--quick",
+        action="store_true",
+        help="use a small world for a fast smoke run",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    describe = commands.add_parser(
+        "describe", help="print the synthetic world's statistics"
+    )
+    describe.add_argument("--quick", action="store_true")
+    describe.set_defaults(handler=_cmd_describe)
+
+    rank = commands.add_parser("rank", help="rank concepts in a text file")
+    rank.add_argument("file")
+    rank.add_argument("--html", action="store_true")
+    rank.add_argument("--top", type=int, default=10)
+    rank.add_argument("--stories", type=int, default=150)
+    rank.set_defaults(handler=_cmd_rank)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

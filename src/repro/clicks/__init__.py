@@ -1,0 +1,35 @@
+"""Click substrate: user model, production tracking, dataset assembly."""
+
+from repro.clicks.dataset import (
+    WINDOW_CHARS,
+    WINDOW_OVERLAP,
+    ClickDataset,
+    FilterRules,
+    Window,
+    build_windows,
+    filter_records,
+)
+from repro.clicks.model import ClickModelConfig, UserClickModel
+from repro.clicks.online import OnlineCtrTracker, OnlineScoreAdjuster
+from repro.clicks.tracking import (
+    ClickTracker,
+    EntityObservation,
+    StoryClickRecord,
+)
+
+__all__ = [
+    "WINDOW_CHARS",
+    "WINDOW_OVERLAP",
+    "ClickDataset",
+    "FilterRules",
+    "Window",
+    "build_windows",
+    "filter_records",
+    "ClickModelConfig",
+    "UserClickModel",
+    "OnlineCtrTracker",
+    "OnlineScoreAdjuster",
+    "ClickTracker",
+    "EntityObservation",
+    "StoryClickRecord",
+]

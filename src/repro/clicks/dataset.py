@@ -1,0 +1,141 @@
+"""Training/evaluation dataset construction from click records.
+
+Implements the data pre-processing of Section V-A.1:
+
+* **noise filters** — a story is ignored if (1) it has fewer than 30
+  sampled views, (2) it contains only one concept, or (3) no concept on
+  the page has more than three sampled clicks;
+* **windowing** — "to avoid the positioning bias inherent in working
+  with user click data ... we partitioned large documents into windows
+  of size 2500 characters", with 500-character overlap so neighbouring
+  concepts are not separated.
+
+Each window becomes one ranking group: preference pairs are only formed
+between entities competing on the same (part of a) page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.clicks.tracking import EntityObservation, StoryClickRecord
+
+WINDOW_CHARS = 2500
+WINDOW_OVERLAP = 500
+
+
+@dataclass(frozen=True)
+class FilterRules:
+    """The paper's three noise filters."""
+
+    min_views: int = 30
+    min_concepts: int = 2
+    min_top_clicks: int = 4  # "no concept has more than three sampled clicks"
+
+
+def filter_records(
+    records: Sequence[StoryClickRecord], rules: FilterRules = FilterRules()
+) -> List[StoryClickRecord]:
+    """Drop stories failing any of the noise filters."""
+    kept: List[StoryClickRecord] = []
+    for record in records:
+        if record.views < rules.min_views:
+            continue
+        if len(record.entities) < rules.min_concepts:
+            continue
+        if record.max_clicks() < rules.min_top_clicks:
+            continue
+        kept.append(record)
+    return kept
+
+
+@dataclass
+class Window:
+    """One ranking group: a character window of a story with its entities."""
+
+    window_id: int
+    story_id: int
+    text: str
+    char_start: int
+    entities: List[EntityObservation] = field(default_factory=list)
+
+
+def build_windows(
+    records: Sequence[StoryClickRecord],
+    window_chars: int = WINDOW_CHARS,
+    overlap: int = WINDOW_OVERLAP,
+) -> List[Window]:
+    """Partition stories into overlapping character windows.
+
+    Entities land in every window containing their annotated position;
+    windows that end up with fewer than two entities are dropped (no
+    preference pairs can be formed there).
+    """
+    if overlap >= window_chars:
+        raise ValueError("overlap must be smaller than the window size")
+    windows: List[Window] = []
+    next_id = 0
+    step = window_chars - overlap
+    for record in records:
+        length = len(record.text)
+        starts = [0]
+        while starts[-1] + window_chars < length:
+            starts.append(starts[-1] + step)
+        for start in starts:
+            end = min(start + window_chars, length)
+            inside = [
+                entity
+                for entity in record.entities
+                if start <= entity.position < end
+            ]
+            if len(inside) < 2:
+                continue
+            windows.append(
+                Window(
+                    window_id=next_id,
+                    story_id=record.story_id,
+                    text=record.text[start:end],
+                    char_start=start,
+                    entities=inside,
+                )
+            )
+            next_id += 1
+    return windows
+
+
+@dataclass
+class ClickDataset:
+    """The assembled dataset: filtered stories, windowed ranking groups."""
+
+    records: List[StoryClickRecord]
+    windows: List[Window]
+
+    @property
+    def story_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def window_count(self) -> int:
+        return len(self.windows)
+
+    @property
+    def entity_count(self) -> int:
+        return sum(len(record.entities) for record in self.records)
+
+    @property
+    def total_clicks(self) -> int:
+        return sum(record.total_clicks for record in self.records)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[StoryClickRecord],
+        rules: FilterRules = FilterRules(),
+        window_chars: int = WINDOW_CHARS,
+        overlap: int = WINDOW_OVERLAP,
+    ) -> "ClickDataset":
+        """Apply the noise filters, then window the surviving stories."""
+        kept = filter_records(records, rules)
+        windows = build_windows(kept, window_chars=window_chars, overlap=overlap)
+        return cls(records=kept, windows=windows)

@@ -1,0 +1,140 @@
+"""Online CTR feedback (the paper's Section VIII future work).
+
+"In this scenario, the system would be able to respond to sudden
+fluctuations in click data, either boosting scores of low scoring
+concepts that are experiencing high CTRs, or punishing the scores of
+those experiencing low CTRs.  This may allow the system to potentially
+react intelligently to world events in real time."
+
+``OnlineCtrTracker`` maintains exponentially-decayed view/click
+counters per concept; ``OnlineScoreAdjuster`` turns the live CTR into a
+multiplicative boost around the offline model's score.  Empirical-Bayes
+shrinkage toward the global CTR keeps low-traffic concepts stable, so a
+handful of early clicks cannot hijack the ranking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class _ConceptCounters:
+    views: float = 0.0
+    clicks: float = 0.0
+
+
+class OnlineCtrTracker:
+    """Exponentially-decayed live CTR per concept.
+
+    *half_life_views* is the volume of global views over which old
+    evidence loses half its weight — decay is traffic-driven, not
+    wall-clock-driven, so quiet periods do not erase knowledge.
+    """
+
+    def __init__(self, half_life_views: float = 20000.0):
+        if half_life_views <= 0:
+            raise ValueError("half_life_views must be positive")
+        self.half_life_views = half_life_views
+        self._counters: Dict[str, _ConceptCounters] = {}
+        self._global = _ConceptCounters()
+
+    def _decay_factor(self, new_views: float) -> float:
+        return 0.5 ** (new_views / self.half_life_views)
+
+    def observe(self, phrase: str, views: int, clicks: int) -> None:
+        """Fold one tracking report into the live counters."""
+        if views < 0 or clicks < 0 or clicks > views:
+            raise ValueError("need 0 <= clicks <= views")
+        factor = self._decay_factor(views)
+        for counters in self._counters.values():
+            counters.views *= factor
+            counters.clicks *= factor
+        self._global.views = self._global.views * factor + views
+        self._global.clicks = self._global.clicks * factor + clicks
+        concept = self._counters.setdefault(phrase.lower(), _ConceptCounters())
+        concept.views += views
+        concept.clicks += clicks
+
+    def observe_report(self, record) -> None:
+        """Fold a :class:`~repro.clicks.tracking.StoryClickRecord`."""
+        for entity in record.entities:
+            self.observe(entity.phrase, entity.views, entity.clicks)
+
+    @property
+    def global_ctr(self) -> float:
+        if self._global.views <= 0:
+            return 0.0
+        return self._global.clicks / self._global.views
+
+    def views(self, phrase: str) -> float:
+        counters = self._counters.get(phrase.lower())
+        return counters.views if counters else 0.0
+
+    def ctr(self, phrase: str, prior_views: float = 200.0) -> float:
+        """Shrunk live CTR: empirical-Bayes blend with the global CTR.
+
+        With *prior_views* pseudo-views at the global CTR, a concept's
+        live estimate only departs from the prior once it has real
+        traffic.
+        """
+        counters = self._counters.get(phrase.lower())
+        prior_clicks = self.global_ctr * prior_views
+        if counters is None:
+            views, clicks = 0.0, 0.0
+        else:
+            views, clicks = counters.views, counters.clicks
+        total_views = views + prior_views
+        if total_views <= 0:
+            return 0.0
+        return (clicks + prior_clicks) / total_views
+
+
+class OnlineScoreAdjuster:
+    """Boost/punish offline ranking scores by live CTR evidence.
+
+    adjusted = score + strength * log(live_ctr / global_ctr)
+
+    A concept clicking at the global rate is untouched; one clicking at
+    twice the rate gains ``strength * log 2``.  Scores arrive from the
+    RankSVM decision function (an additive margin scale), so an additive
+    log-ratio adjustment composes naturally.
+    """
+
+    def __init__(self, tracker: OnlineCtrTracker, strength: float = 0.5,
+                 max_ratio: float = 8.0):
+        self._tracker = tracker
+        self.strength = strength
+        self.max_ratio = max_ratio
+
+    def adjustment(self, phrase: str) -> float:
+        global_ctr = self._tracker.global_ctr
+        if global_ctr <= 0:
+            return 0.0
+        live = self._tracker.ctr(phrase)
+        if live <= 0:
+            return -self.strength * math.log(self.max_ratio)
+        ratio = live / global_ctr
+        ratio = min(max(ratio, 1.0 / self.max_ratio), self.max_ratio)
+        return self.strength * math.log(ratio)
+
+    def adjust_scores(
+        self, phrases: Sequence[str], scores: Sequence[float]
+    ) -> List[float]:
+        """Apply the live adjustment to a batch of (phrase, score)."""
+        if len(phrases) != len(scores):
+            raise ValueError("phrases and scores must align")
+        return [
+            float(score) + self.adjustment(phrase)
+            for phrase, score in zip(phrases, scores)
+        ]
+
+    def rerank(
+        self, phrases: Sequence[str], scores: Sequence[float]
+    ) -> List[Tuple[str, float]]:
+        """(phrase, adjusted score) in decreasing adjusted order."""
+        adjusted = self.adjust_scores(phrases, scores)
+        order = sorted(range(len(phrases)), key=lambda i: -adjusted[i])
+        return [(phrases[i], adjusted[i]) for i in order]

@@ -1,0 +1,46 @@
+"""Synthetic world substrate.
+
+Substitutes for every proprietary corpus resource the paper consumes:
+the web corpus (idf source and search-engine backing store), the concept
+universe with latent interestingness/relevance, editorial dictionaries,
+Wikipedia, and the news stories that Contextual Shortcuts annotates.
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.corpus.concepts import (
+    TAXONOMY_TYPES,
+    Concept,
+    concepts_for_topic,
+    generate_concepts,
+)
+from repro.corpus.dictionaries import DictionaryEntry, EditorialDictionary
+from repro.corpus.documents import (
+    ConceptMention,
+    GeneratedDocument,
+    StoryGenerator,
+    WebCorpusGenerator,
+)
+from repro.corpus.topics import Topic, generate_topics, sample_topic_mixture
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.wikipedia import WikipediaStore
+from repro.corpus.world import SyntheticWorld, WorldConfig
+
+__all__ = [
+    "TAXONOMY_TYPES",
+    "Concept",
+    "concepts_for_topic",
+    "generate_concepts",
+    "DictionaryEntry",
+    "EditorialDictionary",
+    "ConceptMention",
+    "GeneratedDocument",
+    "StoryGenerator",
+    "WebCorpusGenerator",
+    "Topic",
+    "generate_topics",
+    "sample_topic_mixture",
+    "Vocabulary",
+    "WikipediaStore",
+    "SyntheticWorld",
+    "WorldConfig",
+]

@@ -1,0 +1,178 @@
+"""The concept universe: entities and concepts with latent properties.
+
+Every concept in the synthetic world carries the latent attributes that
+the paper's proprietary world has implicitly:
+
+* ``interestingness`` — how appealing the concept is to the general user
+  base.  Drives query-log frequency, Wikipedia presence, and (together
+  with relevance) the probability of a click in the click model.
+* ``specificity`` — how topically focused the concept is.  Specific
+  concepts ("methicillin resistant staphylococcus aureus") appear in a
+  narrow band of contexts; junk/general concepts ("my favorite") appear
+  everywhere.  Drives the clustering behaviour of Table II.
+* ``taxonomy_type`` — editorial type for named entities (person, place,
+  organization, ...); ``None`` for abstract query-log concepts.
+* ``home_topics`` — topics in which the concept is genuinely relevant.
+
+These latents are ground truth for evaluation only; no ranker ever sees
+them directly — rankers see the observable features (query logs,
+snippets, Wikipedia, ...) that the latents generate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.names import make_unique_words
+from repro.corpus.topics import Topic
+
+TAXONOMY_TYPES = (
+    "person",
+    "place",
+    "organization",
+    "product",
+    "event",
+    "animal",
+)
+
+# Clickiness multiplier by entity type: users chase people and products
+# far more than places or organizations (this is why the taxonomy
+# feature earns its keep in Table III's ablation).
+TYPE_APPEAL = {
+    "person": 1.35,
+    "place": 0.75,
+    "organization": 0.80,
+    "product": 1.30,
+    "event": 1.10,
+    "animal": 0.70,
+}
+
+# Generic filler phrases mimicking the paper's low-quality concepts
+# ("my favorite", "the other", "what is happening").  They are built
+# from stopwords so they naturally occur in any text.
+_JUNK_TEMPLATES = [
+    ("my", "favorite"),
+    ("the", "other"),
+    ("what", "is", "happening"),
+    ("a", "few", "more"),
+    ("over", "there"),
+    ("all", "about"),
+    ("more", "than", "this"),
+    ("some", "other"),
+    ("out", "there"),
+    ("very", "own"),
+    ("no", "more"),
+    ("once", "again"),
+]
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A concept or named entity in the synthetic universe."""
+
+    concept_id: int
+    phrase: str
+    terms: Tuple[str, ...]
+    interestingness: float
+    specificity: float
+    is_junk: bool
+    taxonomy_type: Optional[str]
+    home_topics: Tuple[int, ...]
+
+    @property
+    def is_named_entity(self) -> bool:
+        """True when the concept has an editorial taxonomy type."""
+        return self.taxonomy_type is not None
+
+    def relevant_in(self, topic_ids: Sequence[int]) -> bool:
+        """True if any of the concept's home topics appears in *topic_ids*."""
+        return any(topic in self.home_topics for topic in topic_ids)
+
+
+def generate_concepts(
+    rng: np.random.Generator,
+    topics: Sequence[Topic],
+    count: int,
+    named_entity_fraction: float = 0.3,
+    junk_fraction: float = 0.08,
+    max_phrase_terms: int = 3,
+) -> List[Concept]:
+    """Generate the concept universe.
+
+    Concepts get dedicated pseudo-words for their phrases (so mentions
+    are unambiguous in text); junk concepts reuse stopword templates.
+    Interestingness ~ Beta(1.1, 3.0): most concepts are dull, a few are
+    very interesting, matching the paper's observation that "few
+    concepts on a document actually get most of the clicks".
+    """
+    junk_count = min(int(count * junk_fraction), len(_JUNK_TEMPLATES))
+    regular_count = count - junk_count
+
+    term_budget = sum(
+        int(n)
+        for n in rng.integers(1, max_phrase_terms + 1, size=regular_count)
+    )
+    # regenerate sizes deterministically: draw sizes first, then words
+    rng_sizes = rng.integers(1, max_phrase_terms + 1, size=regular_count)
+    term_budget = int(rng_sizes.sum())
+    words = make_unique_words(rng, term_budget)
+
+    concepts: List[Concept] = []
+    cursor = 0
+    for index in range(regular_count):
+        size = int(rng_sizes[index])
+        terms = tuple(words[cursor : cursor + size])
+        cursor += size
+        interestingness = float(rng.beta(1.1, 3.0))
+        specificity = float(np.clip(rng.beta(4.0, 1.6), 0.05, 1.0))
+        is_named = rng.random() < named_entity_fraction
+        taxonomy_type = (
+            str(TAXONOMY_TYPES[rng.integers(len(TAXONOMY_TYPES))])
+            if is_named
+            else None
+        )
+        if taxonomy_type is not None:
+            interestingness = float(
+                np.clip(interestingness * TYPE_APPEAL[taxonomy_type], 0.0, 1.0)
+            )
+        home_count = 1 if rng.random() < 0.75 else 2
+        home = rng.choice(len(topics), size=home_count, replace=False)
+        concepts.append(
+            Concept(
+                concept_id=index,
+                phrase=" ".join(terms),
+                terms=terms,
+                interestingness=interestingness,
+                specificity=specificity,
+                is_junk=False,
+                taxonomy_type=taxonomy_type,
+                home_topics=tuple(int(t) for t in home),
+            )
+        )
+
+    junk_templates = list(_JUNK_TEMPLATES)
+    rng.shuffle(junk_templates)
+    for offset in range(junk_count):
+        terms = tuple(junk_templates[offset])
+        concepts.append(
+            Concept(
+                concept_id=regular_count + offset,
+                phrase=" ".join(terms),
+                terms=terms,
+                # junk phrases are common in queries but dull and unfocused
+                interestingness=float(rng.uniform(0.02, 0.15)),
+                specificity=float(rng.uniform(0.0, 0.08)),
+                is_junk=True,
+                taxonomy_type=None,
+                home_topics=(),
+            )
+        )
+    return concepts
+
+
+def concepts_for_topic(concepts: Sequence[Concept], topic_id: int) -> List[Concept]:
+    """All concepts whose home topics include *topic_id*."""
+    return [c for c in concepts if topic_id in c.home_topics]

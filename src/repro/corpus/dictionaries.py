@@ -1,0 +1,114 @@
+"""Editorially-reviewed dictionaries and the entity taxonomy.
+
+The paper's named entities "are detected with the help of editorially
+reviewed dictionaries" containing "categorized terms and phrases
+according to a pre-defined taxonomy" with major types and subtypes, and
+an entity may belong to multiple types ("jaguar"), in which case it is
+disambiguated.  We generate such a dictionary from the concept
+universe's named entities, including a controlled fraction of ambiguous
+entries, plus per-type subtypes and geo metadata for places (the
+"data-packs" of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.concepts import TAXONOMY_TYPES, Concept
+
+_SUBTYPES: Dict[str, Tuple[str, ...]] = {
+    "person": ("actor", "musician", "scientist", "politician", "athlete"),
+    "place": ("city", "country", "region", "landmark"),
+    "organization": ("company", "agency", "team", "university"),
+    "product": ("electronics", "vehicle", "software", "media"),
+    "event": ("sports", "political", "cultural"),
+    "animal": ("mammal", "bird", "reptile"),
+}
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One editorial dictionary record for a phrase."""
+
+    phrase: str
+    high_level_type: str
+    subtype: str
+    geo: Optional[Tuple[float, float]] = None  # (latitude, longitude) for places
+
+
+class EditorialDictionary:
+    """Phrase -> typed entries; supports ambiguous (multi-type) phrases."""
+
+    def __init__(self, entries: Sequence[DictionaryEntry]):
+        self._by_phrase: Dict[str, List[DictionaryEntry]] = {}
+        for entry in entries:
+            self._by_phrase.setdefault(entry.phrase.lower(), []).append(entry)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_phrase.values())
+
+    def __contains__(self, phrase: str) -> bool:
+        return phrase.lower() in self._by_phrase
+
+    def phrases(self) -> List[str]:
+        return list(self._by_phrase)
+
+    def lookup(self, phrase: str) -> List[DictionaryEntry]:
+        """All entries for *phrase* (empty list if unknown)."""
+        return list(self._by_phrase.get(phrase.lower(), ()))
+
+    def is_ambiguous(self, phrase: str) -> bool:
+        """True when the phrase maps to more than one taxonomy type."""
+        entries = self._by_phrase.get(phrase.lower(), ())
+        return len({e.high_level_type for e in entries}) > 1
+
+    def high_level_type(self, phrase: str) -> Optional[str]:
+        """First (primary) type for *phrase*, or None."""
+        entries = self._by_phrase.get(phrase.lower(), ())
+        return entries[0].high_level_type if entries else None
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        concepts: Sequence[Concept],
+        ambiguous_fraction: float = 0.05,
+    ) -> "EditorialDictionary":
+        """Build the dictionary from the named entities of the universe."""
+        entries: List[DictionaryEntry] = []
+        for concept in concepts:
+            if concept.taxonomy_type is None:
+                continue
+            primary = concept.taxonomy_type
+            subtype_pool = _SUBTYPES[primary]
+            subtype = str(subtype_pool[rng.integers(len(subtype_pool))])
+            geo = None
+            if primary == "place":
+                geo = (
+                    float(rng.uniform(-90, 90)),
+                    float(rng.uniform(-180, 180)),
+                )
+            entries.append(
+                DictionaryEntry(
+                    phrase=concept.phrase,
+                    high_level_type=primary,
+                    subtype=subtype,
+                    geo=geo,
+                )
+            )
+            if rng.random() < ambiguous_fraction:
+                other_types = [t for t in TAXONOMY_TYPES if t != primary]
+                other = str(other_types[rng.integers(len(other_types))])
+                other_subtypes = _SUBTYPES[other]
+                entries.append(
+                    DictionaryEntry(
+                        phrase=concept.phrase,
+                        high_level_type=other,
+                        subtype=str(other_subtypes[rng.integers(len(other_subtypes))]),
+                        geo=None,
+                    )
+                )
+        return cls(entries)

@@ -1,0 +1,390 @@
+"""Document generation: news stories and web pages with embedded concepts.
+
+A generated document is lower-case sentence text with punctuation, plus
+the ground-truth list of concept mentions (character spans and latent
+relevance).  The latent relevance of a mention is what the click model
+consumes; rankers never see it.
+
+The generative recipe mirrors the structure the paper relies on:
+
+* story body words come from the story's topics, mixed with Zipfian
+  background words and stopwords;
+* concepts whose home topic matches the story are embedded as *relevant*
+  mentions; a few concepts from foreign topics are embedded as
+  *off-topic* mentions (the paper's "Texas" example); junk phrases
+  occur naturally because they are stopword n-grams, and are also
+  spliced explicitly so they are detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.concepts import Concept, concepts_for_topic
+from repro.corpus.topics import Topic, sample_topic_mixture
+from repro.corpus.vocabulary import Vocabulary
+from repro.text.stopwords import STOPWORDS
+
+_STOPWORD_LIST = sorted(STOPWORDS)
+
+
+@dataclass(frozen=True)
+class ConceptMention:
+    """Ground truth for one embedded concept occurrence."""
+
+    concept_id: int
+    start: int
+    end: int
+    relevance: float
+
+
+@dataclass
+class GeneratedDocument:
+    """A synthetic document with its ground-truth mentions."""
+
+    doc_id: int
+    topics: Tuple[int, ...]
+    text: str
+    mentions: List[ConceptMention] = field(default_factory=list)
+
+    def mention_spans(self) -> List[Tuple[int, int]]:
+        return [(m.start, m.end) for m in self.mentions]
+
+    def relevance_of(self, concept_id: int) -> float:
+        """Max latent relevance over the concept's mentions (0 if absent)."""
+        scores = [m.relevance for m in self.mentions if m.concept_id == concept_id]
+        return max(scores) if scores else 0.0
+
+
+# -- internal text assembly --------------------------------------------------
+
+
+def _render_stream(
+    stream: Sequence[object],
+    rng: np.random.Generator,
+) -> Tuple[str, List[ConceptMention]]:
+    """Join a stream of words / (concept, relevance) pairs into sentences.
+
+    Returns the text and the mention list with character offsets.
+    """
+    pieces: List[str] = []
+    mentions: List[ConceptMention] = []
+    position = 0
+    words_in_sentence = 0
+    sentence_target = int(rng.integers(8, 15))
+
+    for item in stream:
+        if pieces:
+            if words_in_sentence >= sentence_target:
+                pieces.append(". ")
+                position += 2
+                words_in_sentence = 0
+                sentence_target = int(rng.integers(8, 15))
+            else:
+                pieces.append(" ")
+                position += 1
+        if isinstance(item, str):
+            pieces.append(item)
+            position += len(item)
+            words_in_sentence += 1
+        else:
+            concept, relevance = item
+            start = position
+            pieces.append(concept.phrase)
+            position += len(concept.phrase)
+            words_in_sentence += len(concept.terms)
+            mentions.append(
+                ConceptMention(
+                    concept_id=concept.concept_id,
+                    start=start,
+                    end=position,
+                    relevance=relevance,
+                )
+            )
+    if pieces:
+        pieces.append(".")
+    return "".join(pieces), mentions
+
+
+def _filler_words(
+    rng: np.random.Generator,
+    topics: Sequence[Topic],
+    topic_ids: Sequence[int],
+    vocabulary: Vocabulary,
+    count: int,
+    topic_probability: float = 0.62,
+    stopword_probability: float = 0.28,
+) -> List[str]:
+    """Draw *count* body words: topic words, background words, stopwords."""
+    words: List[str] = []
+    draws = rng.random(count)
+    for value in draws:
+        if value < topic_probability and topic_ids:
+            topic = topics[int(rng.choice(list(topic_ids)))]
+            words.extend(topic.sample_words(rng, 1))
+        elif value < topic_probability + stopword_probability:
+            words.append(_STOPWORD_LIST[int(rng.integers(len(_STOPWORD_LIST)))])
+        else:
+            words.extend(vocabulary.sample(rng, 1))
+    return words
+
+
+def _splice(
+    filler: List[str],
+    insertions: List[Tuple[int, object]],
+) -> List[object]:
+    """Insert (position, item) pairs into the filler word list."""
+    stream: List[object] = list(filler)
+    for position, item in sorted(insertions, key=lambda pair: -pair[0]):
+        stream.insert(min(position, len(stream)), item)
+    return stream
+
+
+# -- relevance latents --------------------------------------------------------
+
+
+def _mention_relevance(
+    rng: np.random.Generator, concept: Concept, topic_ids: Sequence[int]
+) -> float:
+    if concept.is_junk:
+        return float(rng.uniform(0.0, 0.10))
+    if concept.relevant_in(topic_ids):
+        return float(rng.uniform(0.75, 1.0))
+    return float(rng.uniform(0.05, 0.25))
+
+
+# -- public generators --------------------------------------------------------
+
+
+class StoryGenerator:
+    """Generates news stories for the Contextual Shortcuts click pipeline."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        topics: Sequence[Topic],
+        concepts: Sequence[Concept],
+        vocabulary: Vocabulary,
+        min_words: int = 250,
+        max_words: int = 550,
+        relevant_range: Tuple[int, int] = (3, 7),
+        offtopic_range: Tuple[int, int] = (1, 3),
+        junk_probability: float = 0.5,
+    ):
+        self._rng = rng
+        self._topics = topics
+        self._concepts = concepts
+        self._vocabulary = vocabulary
+        self._min_words = min_words
+        self._max_words = max_words
+        self._relevant_range = relevant_range
+        self._offtopic_range = offtopic_range
+        self._junk_probability = junk_probability
+        self._by_topic: Dict[int, List[Concept]] = {
+            topic.topic_id: concepts_for_topic(concepts, topic.topic_id)
+            for topic in topics
+        }
+        self._junk = [c for c in concepts if c.is_junk]
+        self._regular = [c for c in concepts if not c.is_junk]
+
+    def _pick_relevant(self, topic_ids: Sequence[int], count: int) -> List[Concept]:
+        pool: List[Concept] = []
+        for topic_id in topic_ids:
+            pool.extend(self._by_topic.get(topic_id, []))
+        if not pool:
+            return []
+        # newsworthiness: popular entities are written about more often
+        appeal = np.asarray([0.15 + c.interestingness for c in pool])
+        probabilities = appeal / appeal.sum()
+        indices = self._rng.choice(
+            len(pool), size=min(count, len(pool)), replace=False, p=probabilities
+        )
+        return [pool[int(i)] for i in indices]
+
+    def _pick_offtopic(self, topic_ids: Sequence[int], count: int) -> List[Concept]:
+        pool = [c for c in self._regular if not c.relevant_in(topic_ids)]
+        if not pool:
+            return []
+        indices = self._rng.choice(
+            len(pool), size=min(count, len(pool)), replace=False
+        )
+        return [pool[int(i)] for i in indices]
+
+    def generate(self, doc_id: int) -> GeneratedDocument:
+        """Generate one news story."""
+        rng = self._rng
+        topic_ids = sample_topic_mixture(rng, self._topics)
+        total_words = int(rng.integers(self._min_words, self._max_words + 1))
+        filler = _filler_words(
+            rng, self._topics, topic_ids, self._vocabulary, total_words
+        )
+
+        relevant_count = int(rng.integers(*self._relevant_range)) + 1
+        offtopic_count = int(rng.integers(*self._offtopic_range)) + 1
+        chosen: List[Tuple[Concept, float]] = []
+        for concept in self._pick_relevant(topic_ids, relevant_count):
+            chosen.append((concept, _mention_relevance(rng, concept, topic_ids)))
+        for concept in self._pick_offtopic(topic_ids, offtopic_count):
+            chosen.append((concept, _mention_relevance(rng, concept, topic_ids)))
+        if self._junk and rng.random() < self._junk_probability:
+            junk = self._junk[int(rng.integers(len(self._junk)))]
+            chosen.append((junk, _mention_relevance(rng, junk, topic_ids)))
+
+        insertions: List[Tuple[int, object]] = []
+        for concept, relevance in chosen:
+            # relevant entities recur in a story, and popular ones recur
+            # more (editors return to the draw) — this prominence is the
+            # signal the tf-based concept-vector baseline picks up
+            if relevance >= 0.5:
+                rate = 0.5 + 2.2 * concept.interestingness
+                occurrences = 1 + min(5, int(rng.poisson(rate)))
+            else:
+                occurrences = 1 + int(rng.random() < 0.15)
+            for __ in range(occurrences):
+                position = int(rng.integers(0, max(1, len(filler))))
+                insertions.append((position, (concept, relevance)))
+
+        stream = _splice(filler, insertions)
+        text, mentions = _render_stream(stream, rng)
+        return GeneratedDocument(
+            doc_id=doc_id, topics=topic_ids, text=text, mentions=mentions
+        )
+
+    def generate_many(self, count: int, start_id: int = 0) -> List[GeneratedDocument]:
+        return [self.generate(start_id + i) for i in range(count)]
+
+
+class WebCorpusGenerator:
+    """Generates the synthetic web corpus behind the search engine.
+
+    Three page kinds:
+
+    * **topic pages** — general pages about one topic, mentioning a few
+      of the topic's concepts;
+    * **focus pages** — pages *about* a specific concept: the phrase
+      repeats and the body uses the concept's home-topic words.  Their
+      count grows with interestingness (popular things get written
+      about), giving specific concepts a coherent result set;
+    * **incidental mentions** — the phrase spliced into pages of foreign
+      topics.  Their count grows as specificity falls, so general and
+      junk concepts occur in many, topically scattered pages: that is
+      exactly what makes their mined relevant keywords sparse (Table II)
+      and their phrase-query result counts high (feature 4).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        topics: Sequence[Topic],
+        concepts: Sequence[Concept],
+        vocabulary: Vocabulary,
+        page_words: Tuple[int, int] = (60, 120),
+        max_focus_pages: int = 80,
+        max_incidental_pages: int = 50,
+    ):
+        self._rng = rng
+        self._topics = topics
+        self._concepts = concepts
+        self._vocabulary = vocabulary
+        self._page_words = page_words
+        self._max_focus_pages = max_focus_pages
+        self._max_incidental_pages = max_incidental_pages
+
+    def _page_body(self, topic_ids: Sequence[int]) -> List[str]:
+        count = int(self._rng.integers(*self._page_words))
+        return _filler_words(
+            self._rng, self._topics, topic_ids, self._vocabulary, count
+        )
+
+    def _make_page(
+        self,
+        doc_id: int,
+        topic_ids: Tuple[int, ...],
+        embedded: List[Tuple[Concept, float, int]],
+    ) -> GeneratedDocument:
+        filler = self._page_body(topic_ids)
+        insertions: List[Tuple[int, object]] = []
+        for concept, relevance, occurrences in embedded:
+            for __ in range(occurrences):
+                position = int(self._rng.integers(0, max(1, len(filler))))
+                insertions.append((position, (concept, relevance)))
+        stream = _splice(filler, insertions)
+        text, mentions = _render_stream(stream, self._rng)
+        return GeneratedDocument(
+            doc_id=doc_id, topics=topic_ids, text=text, mentions=mentions
+        )
+
+    def generate(self, topic_page_count: int) -> List[GeneratedDocument]:
+        """Generate the full corpus: topic, focus, and incidental pages."""
+        rng = self._rng
+        documents: List[GeneratedDocument] = []
+        doc_id = 0
+
+        for __ in range(topic_page_count):
+            topic_id = int(rng.integers(len(self._topics)))
+            candidates = concepts_for_topic(self._concepts, topic_id)
+            embedded: List[Tuple[Concept, float, int]] = []
+            if candidates:
+                how_many = int(rng.integers(0, min(4, len(candidates)) + 1))
+                picks = rng.choice(len(candidates), size=how_many, replace=False)
+                for i in picks:
+                    concept = candidates[int(i)]
+                    embedded.append(
+                        (concept, _mention_relevance(rng, concept, (topic_id,)), 1)
+                    )
+            documents.append(self._make_page(doc_id, (topic_id,), embedded))
+            doc_id += 1
+
+        for concept in self._concepts:
+            focus_pages = self._focus_page_count(concept)
+            for __ in range(focus_pages):
+                home = concept.home_topics or (int(rng.integers(len(self._topics))),)
+                occurrences = int(rng.integers(2, 5))
+                documents.append(
+                    self._make_page(
+                        doc_id,
+                        tuple(home),
+                        [(concept, 1.0, occurrences)],
+                    )
+                )
+                doc_id += 1
+
+            incidental_pages = self._incidental_page_count(concept)
+            for __ in range(incidental_pages):
+                foreign = int(rng.integers(len(self._topics)))
+                relevance = _mention_relevance(rng, concept, (foreign,))
+                documents.append(
+                    self._make_page(doc_id, (foreign,), [(concept, relevance, 1)])
+                )
+                doc_id += 1
+
+        return documents
+
+    def _focus_page_count(self, concept: Concept) -> int:
+        """Coherent pages *about* the concept.
+
+        Grows with interestingness (popular things get written about)
+        and with specificity (focused concepts produce focused pages) —
+        this concentration is what makes the Table II summations of
+        specific concepts large.
+        """
+        if concept.is_junk:
+            return 0
+        base = 8 + concept.interestingness * concept.specificity * (
+            self._max_focus_pages - 8
+        )
+        return int(round(base))
+
+    def _incidental_page_count(self, concept: Concept) -> int:
+        """Topically scattered pages merely containing the phrase.
+
+        Grows as specificity falls, so general and junk concepts return
+        *more* (but incoherent) results — preserving feature 4's
+        "fewer results = more specific" direction.
+        """
+        spread = (1.0 - concept.specificity) * self._max_incidental_pages
+        jitter = float(self._rng.uniform(0.6, 1.4))
+        return int(round(spread * jitter))

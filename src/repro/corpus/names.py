@@ -1,0 +1,64 @@
+"""Deterministic pseudo-word generation for the synthetic world.
+
+The proprietary inputs of the paper (web corpus, query logs, editorial
+dictionaries) are full of real English.  Our substitute world needs a
+vocabulary that is (a) reproducible from a seed, (b) large, (c) free of
+collisions with the stopword list, and (d) pronounceable enough that
+generated stories and concepts are human-readable when debugging.
+
+Words are built from consonant-vowel syllables drawn from a seeded
+:class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.text.stopwords import STOPWORDS
+
+_ONSETS = [
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r",
+    "s", "t", "v", "w", "z", "br", "ch", "cl", "dr", "fl", "gr", "kr",
+    "pl", "pr", "sh", "sl", "st", "str", "th", "tr",
+]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"]
+_CODAS = ["", "", "", "n", "r", "s", "l", "m", "t", "nd", "rk", "st"]
+
+
+def _syllable(rng: np.random.Generator) -> str:
+    onset = _ONSETS[rng.integers(len(_ONSETS))]
+    vowel = _VOWELS[rng.integers(len(_VOWELS))]
+    coda = _CODAS[rng.integers(len(_CODAS))]
+    return onset + vowel + coda
+
+
+def make_word(rng: np.random.Generator, min_syllables: int = 2,
+              max_syllables: int = 3) -> str:
+    """Generate one pronounceable pseudo-word."""
+    count = int(rng.integers(min_syllables, max_syllables + 1))
+    return "".join(_syllable(rng) for __ in range(count))
+
+
+def make_unique_words(rng: np.random.Generator, count: int,
+                      forbidden: Set[str] = frozenset()) -> List[str]:
+    """Generate *count* distinct pseudo-words.
+
+    Words never collide with each other, with *forbidden*, or with the
+    stopword list (stopwords are the background filler of generated text
+    and must stay disjoint from content words).
+    """
+    words: List[str] = []
+    seen: Set[str] = set(forbidden) | set(STOPWORDS)
+    attempts = 0
+    while len(words) < count:
+        word = make_word(rng)
+        attempts += 1
+        if attempts > count * 100:
+            raise RuntimeError("pseudo-word space exhausted; lower count")
+        if word in seen:
+            continue
+        seen.add(word)
+        words.append(word)
+    return words

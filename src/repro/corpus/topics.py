@@ -1,0 +1,78 @@
+"""Topic model for the synthetic world.
+
+Each topic owns a set of characteristic content words with internal
+sampling weights.  Stories and web documents about a topic draw most of
+their content words from the topic's word set, mixed with Zipfian
+background words and stopwords, which is what gives the relevant-keyword
+mining (paper Section IV-B) something to cluster on: documents about
+the same topic share distinctive, high-idf terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.vocabulary import Vocabulary
+
+
+@dataclass
+class Topic:
+    """A topic: a named bag of characteristic words with weights."""
+
+    topic_id: int
+    name: str
+    words: Tuple[str, ...]
+    weights: np.ndarray = field(repr=False)
+
+    def sample_words(self, rng: np.random.Generator, count: int) -> List[str]:
+        """Draw *count* words from the topic's internal distribution."""
+        indices = rng.choice(len(self.words), size=count, p=self.weights)
+        return [self.words[i] for i in indices]
+
+
+def generate_topics(
+    rng: np.random.Generator,
+    vocabulary: Vocabulary,
+    count: int,
+    words_per_topic: int = 80,
+) -> List[Topic]:
+    """Carve *count* topics out of *vocabulary*.
+
+    Topic words are drawn Zipf-weighted but biased away from the very
+    head of the distribution (the head serves as shared background), so
+    topics are distinctive.  Topics may overlap slightly in vocabulary,
+    as real topics do.
+    """
+    head_cutoff = max(10, len(vocabulary) // 50)
+    eligible = vocabulary.words[head_cutoff:]
+    if words_per_topic > len(eligible):
+        raise ValueError("vocabulary too small for requested topic size")
+    topics: List[Topic] = []
+    for topic_id in range(count):
+        chosen = rng.choice(len(eligible), size=words_per_topic, replace=False)
+        words = tuple(eligible[i] for i in chosen)
+        # fairly flat within-topic weights: a topic's signal comes from
+        # *many* moderately frequent words, so scattered (junk) snippet
+        # sets cannot pick up a handful of heavy hitters per topic
+        raw = rng.dirichlet(np.full(words_per_topic, 2.0))
+        topics.append(
+            Topic(
+                topic_id=topic_id,
+                name=f"topic-{topic_id:03d}",
+                words=words,
+                weights=raw,
+            )
+        )
+    return topics
+
+
+def sample_topic_mixture(
+    rng: np.random.Generator, topics: Sequence[Topic], max_topics: int = 2
+) -> Tuple[int, ...]:
+    """Pick 1..max_topics distinct topic ids for a document."""
+    count = 1 if max_topics == 1 or rng.random() < 0.7 else 2
+    chosen = rng.choice(len(topics), size=min(count, len(topics)), replace=False)
+    return tuple(int(i) for i in chosen)

@@ -1,0 +1,65 @@
+"""Zipfian content vocabulary for the synthetic world.
+
+Real web text has a heavy-tailed unigram distribution.  The vocabulary
+assigns every content word a global Zipf weight; topic models and the
+background-noise channel both sample against these weights, so idf
+statistics computed over the generated web corpus look like idf
+statistics over real text (few very common words, a long tail of rare,
+high-idf words).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.corpus.names import make_unique_words
+
+
+class Vocabulary:
+    """An ordered list of content words with Zipfian sampling weights."""
+
+    def __init__(self, words: Sequence[str], zipf_exponent: float = 1.25):
+        if not words:
+            raise ValueError("vocabulary must be non-empty")
+        self.words: List[str] = list(words)
+        self.zipf_exponent = float(zipf_exponent)
+        ranks = np.arange(1, len(self.words) + 1, dtype=float)
+        weights = ranks ** (-self.zipf_exponent)
+        self._probabilities = weights / weights.sum()
+        self._index = {word: i for i, word in enumerate(self.words)}
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._index
+
+    def rank(self, word: str) -> int:
+        """Zero-based Zipf rank of *word* (0 = most frequent)."""
+        return self._index[word]
+
+    def probability(self, word: str) -> float:
+        """Global sampling probability of *word*."""
+        return float(self._probabilities[self._index[word]])
+
+    def sample(self, rng: np.random.Generator, count: int) -> List[str]:
+        """Draw *count* words i.i.d. from the Zipf distribution."""
+        indices = rng.choice(len(self.words), size=count, p=self._probabilities)
+        return [self.words[i] for i in indices]
+
+    def sample_distinct(self, rng: np.random.Generator, count: int) -> List[str]:
+        """Draw *count* distinct words, Zipf-weighted."""
+        if count > len(self.words):
+            raise ValueError("cannot draw more distinct words than exist")
+        indices = rng.choice(
+            len(self.words), size=count, replace=False, p=self._probabilities
+        )
+        return [self.words[i] for i in indices]
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator, size: int,
+                 zipf_exponent: float = 1.25) -> "Vocabulary":
+        """Generate a fresh pseudo-word vocabulary of *size* words."""
+        return cls(make_unique_words(rng, size), zipf_exponent=zipf_exponent)

@@ -1,0 +1,75 @@
+"""Synthetic Wikipedia store.
+
+The paper uses one Wikipedia-derived feature: the word count of the
+article returned for a concept, 0 when no article exists (feature 9,
+citing Hu et al.'s finding that article length proxies quality).  We
+model a Wikipedia in which article *presence* and *length* both grow
+with a concept's latent interestingness, with noise — popular things
+get long articles, junk phrases get none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.corpus.concepts import Concept
+from repro.corpus.topics import Topic
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.documents import _filler_words
+
+
+class WikipediaStore:
+    """Phrase -> article lookup with word counts."""
+
+    def __init__(self, articles: Dict[str, str]):
+        self._articles = dict(articles)
+
+    def __len__(self) -> int:
+        return len(self._articles)
+
+    def __contains__(self, phrase: str) -> bool:
+        return phrase.lower() in self._articles
+
+    def article(self, phrase: str) -> Optional[str]:
+        """The article text for *phrase*, or None."""
+        return self._articles.get(phrase.lower())
+
+    def word_count(self, phrase: str) -> int:
+        """Number of words in the article for *phrase* (0 if absent)."""
+        text = self._articles.get(phrase.lower())
+        if text is None:
+            return 0
+        return len(text.split())
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        concepts: Sequence[Concept],
+        topics: Sequence[Topic],
+        vocabulary: Vocabulary,
+        presence_floor: float = 0.15,
+        max_article_words: int = 3000,
+    ) -> "WikipediaStore":
+        """Build a store over the concept universe.
+
+        P(article exists) = presence_floor + (1-floor) * interestingness;
+        article length ~ interestingness * max words, log-normal jitter.
+        Junk concepts never have articles.
+        """
+        articles: Dict[str, str] = {}
+        for concept in concepts:
+            if concept.is_junk:
+                continue
+            presence = presence_floor + (1 - presence_floor) * concept.interestingness
+            if rng.random() >= presence:
+                continue
+            base_length = 60 + concept.interestingness * max_article_words
+            length = int(base_length * float(rng.lognormal(0.0, 0.4)))
+            length = max(30, min(length, max_article_words * 2))
+            topic_ids = concept.home_topics or (int(rng.integers(len(topics))),)
+            body = _filler_words(rng, topics, topic_ids, vocabulary, length)
+            articles[concept.phrase.lower()] = " ".join(body)
+        return cls(articles)

@@ -1,0 +1,121 @@
+"""The synthetic world: one seeded object holding every corpus resource.
+
+``SyntheticWorld.build(WorldConfig(...))`` deterministically generates
+the vocabulary, topics, concept universe, web corpus (with its
+document-frequency table), Wikipedia store, and editorial dictionary.
+Everything downstream — query logs, the search engine, detection,
+features, click simulation — is derived from a world instance, so a
+single seed reproduces an entire experiment end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.corpus.concepts import Concept, generate_concepts
+from repro.corpus.dictionaries import EditorialDictionary
+from repro.corpus.documents import (
+    GeneratedDocument,
+    StoryGenerator,
+    WebCorpusGenerator,
+)
+from repro.corpus.topics import Topic, generate_topics
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.wikipedia import WikipediaStore
+from repro.text.vectorize import DocumentFrequencyTable
+from repro.text.tokenizer import tokenize_lower
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Sizing and seeding for a synthetic world.
+
+    The defaults give a laptop-scale world that preserves the paper's
+    statistical structure; benchmarks use larger numbers of stories.
+    """
+
+    seed: int = 7
+    vocabulary_size: int = 4000
+    topic_count: int = 40
+    words_per_topic: int = 80
+    concept_count: int = 1200
+    named_entity_fraction: float = 0.3
+    junk_fraction: float = 0.01
+    topic_page_count: int = 1500
+    zipf_exponent: float = 1.25
+
+
+@dataclass
+class SyntheticWorld:
+    """All corpus-side resources of the synthetic world."""
+
+    config: WorldConfig
+    vocabulary: Vocabulary
+    topics: List[Topic]
+    concepts: List[Concept]
+    web_corpus: List[GeneratedDocument]
+    doc_frequency: DocumentFrequencyTable
+    wikipedia: WikipediaStore
+    dictionary: EditorialDictionary
+    _concept_by_phrase: Dict[str, Concept] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, config: WorldConfig = WorldConfig()) -> "SyntheticWorld":
+        """Deterministically generate a world from *config*."""
+        rng = np.random.default_rng(config.seed)
+        vocabulary = Vocabulary.generate(
+            rng, config.vocabulary_size, zipf_exponent=config.zipf_exponent
+        )
+        topics = generate_topics(
+            rng, vocabulary, config.topic_count, config.words_per_topic
+        )
+        concepts = generate_concepts(
+            rng,
+            topics,
+            config.concept_count,
+            named_entity_fraction=config.named_entity_fraction,
+            junk_fraction=config.junk_fraction,
+        )
+        corpus_generator = WebCorpusGenerator(rng, topics, concepts, vocabulary)
+        web_corpus = corpus_generator.generate(config.topic_page_count)
+        doc_frequency = DocumentFrequencyTable.from_documents(
+            tokenize_lower(document.text) for document in web_corpus
+        )
+        wikipedia = WikipediaStore.generate(rng, concepts, topics, vocabulary)
+        dictionary = EditorialDictionary.generate(rng, concepts)
+        world = cls(
+            config=config,
+            vocabulary=vocabulary,
+            topics=topics,
+            concepts=concepts,
+            web_corpus=web_corpus,
+            doc_frequency=doc_frequency,
+            wikipedia=wikipedia,
+            dictionary=dictionary,
+        )
+        world._concept_by_phrase = {c.phrase.lower(): c for c in concepts}
+        return world
+
+    # -- convenience -----------------------------------------------------
+
+    def concept_by_phrase(self, phrase: str) -> Concept:
+        """Look up a concept by its exact phrase (case-insensitive)."""
+        return self._concept_by_phrase[phrase.lower()]
+
+    def story_generator(self, seed: int = 1) -> StoryGenerator:
+        """A fresh, independently-seeded news story generator."""
+        return StoryGenerator(
+            np.random.default_rng((self.config.seed, seed)),
+            self.topics,
+            self.concepts,
+            self.vocabulary,
+        )
+
+    def named_entities(self) -> List[Concept]:
+        return [c for c in self.concepts if c.is_named_entity]
+
+    def junk_concepts(self) -> List[Concept]:
+        return [c for c in self.concepts if c.is_junk]

@@ -1,0 +1,52 @@
+"""Shared detection data model.
+
+The Contextual Shortcuts platform distinguishes three entity kinds
+(paper Section II-A): pattern-based entities, named entities, and
+concepts.  A :class:`Detection` records the surface span, the kind, the
+taxonomy/pattern type, and later the concept-vector score assigned by
+the baseline ranker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+KIND_PATTERN = "pattern"
+KIND_NAMED = "named"
+KIND_CONCEPT = "concept"
+
+# collision priority: higher wins when spans overlap and lengths tie
+_KIND_PRIORITY = {KIND_PATTERN: 3, KIND_NAMED: 2, KIND_CONCEPT: 1}
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected entity occurrence in a document."""
+
+    text: str
+    start: int
+    end: int
+    kind: str
+    entity_type: Optional[str] = None
+    terms: Tuple[str, ...] = field(default=())
+    score: float = 0.0
+
+    @property
+    def phrase(self) -> str:
+        """Normalized phrase key (lower-case surface text)."""
+        return self.text.lower()
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Detection") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def with_score(self, score: float) -> "Detection":
+        return replace(self, score=score)
+
+    def priority(self) -> Tuple[int, int]:
+        """Collision priority: longer spans win, then kind priority."""
+        return (self.length, _KIND_PRIORITY.get(self.kind, 0))

@@ -1,0 +1,122 @@
+"""Concept-vector generation: the production baseline ranker.
+
+Faithful implementation of paper Section II-B:
+
+1. a **term vector** with tf*idf scores against the term-document
+   frequency dictionary; stop-words removed; weights normalized into
+   [0, 1]; sub-threshold weights punished; low weights pruned;
+2. a **unit vector** of all query-log units found in the document, with
+   normalized unit scores, punished and pruned likewise;
+3. a **merge**: term-only entries are added with punished term weight,
+   unit-only entries with their unit weight, entries in both with the
+   sum; then every *multi-term* concept additionally absorbs the term-
+   and unit-vector scores of each individual term it contains, so "more
+   specific concepts eventually bubble up in the overall rank" (max
+   possible weight = 2 x number of terms).
+
+The resulting phrase -> score mapping is the baseline ranking the
+paper's learned model is evaluated against (the "Concept Vector Score"
+rows of Tables III-V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.querylog.units import UnitLexicon
+from repro.text.stopwords import is_stopword
+from repro.text.tokenizer import tokenize_lower
+from repro.text.vectorize import DocumentFrequencyTable, TermVector
+
+
+class ConceptVectorScorer:
+    """Builds concept vectors for documents (the baseline scorer)."""
+
+    def __init__(
+        self,
+        doc_frequency: DocumentFrequencyTable,
+        lexicon: UnitLexicon,
+        punish_threshold: float = 0.25,
+        prune_threshold: float = 0.02,
+        punish_factor: float = 0.5,
+        multi_term_bonus: bool = True,
+    ):
+        self._doc_frequency = doc_frequency
+        self._lexicon = lexicon
+        self.punish_threshold = punish_threshold
+        self.prune_threshold = prune_threshold
+        self.punish_factor = punish_factor
+        self.multi_term_bonus = multi_term_bonus
+
+    # -- the two component vectors -----------------------------------------
+
+    def term_vector(self, tokens: Sequence[str]) -> TermVector:
+        """Normalized, punished, pruned tf*idf vector over single terms."""
+        counts: Dict[str, int] = {}
+        for token in tokens:
+            if is_stopword(token):
+                continue
+            counts[token] = counts.get(token, 0) + 1
+        raw = TermVector(self._doc_frequency.tf_idf(counts))
+        shaped = raw.normalized().punished_below(
+            self.punish_threshold, self.punish_factor
+        )
+        return shaped.pruned_below(self.prune_threshold)
+
+    def unit_vector(self, tokens: Sequence[str]) -> TermVector:
+        """Punished, pruned vector of units found in the document.
+
+        Unit scores arrive already normalized into [0, 1] *globally* by
+        the miner ("unit scores are also normalized to be between 0 and
+        1") — they are deliberately NOT re-normalized per document, so
+        a document full of weak units keeps weak unit weights.
+        """
+        weights: Dict[str, float] = {}
+        for segment in self._lexicon.segment(list(tokens)):
+            score = self._lexicon.score(segment)
+            if score <= 0.0:
+                continue
+            phrase = " ".join(segment)
+            weights[phrase] = max(weights.get(phrase, 0.0), score)
+        shaped = TermVector(weights).punished_below(
+            self.punish_threshold, self.punish_factor
+        )
+        return shaped.pruned_below(self.prune_threshold)
+
+    # -- merge ---------------------------------------------------------------
+
+    def concept_vector(self, text: str) -> TermVector:
+        """The merged concept vector for *text* (phrase -> score)."""
+        tokens = tokenize_lower(text)
+        terms = self.term_vector(tokens)
+        units = self.unit_vector(tokens)
+
+        merged: Dict[str, float] = {}
+        for phrase, weight in terms.items():
+            if phrase in units:
+                merged[phrase] = weight + units[phrase]
+            else:
+                # term did not appear as a popular query: punish
+                merged[phrase] = weight * self.punish_factor
+        for phrase, weight in units.items():
+            if phrase not in merged:
+                merged[phrase] = weight
+
+        if self.multi_term_bonus:
+            for phrase in list(merged):
+                parts = phrase.split()
+                if len(parts) < 2:
+                    continue
+                bonus = sum(
+                    terms.get(part) + units.get(part) for part in parts
+                )
+                merged[phrase] += bonus
+        return TermVector(merged)
+
+    def top_concepts(self, text: str, count: int = 5) -> List[Tuple[str, float]]:
+        """Highest-scoring concepts of *text* (the Section II-B example)."""
+        return self.concept_vector(text).top(count)
+
+    def score_phrase(self, vector: TermVector, phrase: str) -> float:
+        """Concept-vector score of *phrase* (0 when absent)."""
+        return vector.get(phrase.lower(), 0.0)

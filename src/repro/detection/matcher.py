@@ -1,0 +1,63 @@
+"""Phrase matching over token streams with character offsets.
+
+Both the dictionary (named entity) and concept detectors reduce to the
+same operation: find occurrences of a large phrase inventory in a
+document.  The matcher indexes phrases by first term (the "data-pack"
+hash tables of the paper's framework) and takes the longest match at
+each position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.text.tokenizer import tokenize
+
+Phrase = Tuple[str, ...]
+
+
+class PhraseMatcher:
+    """Longest-match detection of a fixed phrase inventory."""
+
+    def __init__(self, phrases: Iterable[Phrase]):
+        self._by_first: Dict[str, List[Phrase]] = {}
+        self.max_length = 0
+        for phrase in phrases:
+            phrase = tuple(term.lower() for term in phrase)
+            if not phrase:
+                continue
+            self._by_first.setdefault(phrase[0], []).append(phrase)
+            self.max_length = max(self.max_length, len(phrase))
+        # longest-first so the first hit at a position is the longest
+        for candidates in self._by_first.values():
+            candidates.sort(key=len, reverse=True)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_first.values())
+
+    def find(self, text: str) -> List[Tuple[Phrase, int, int]]:
+        """All (phrase, char_start, char_end) matches, document order.
+
+        Matches are non-overlapping: after a match the scan resumes past
+        it (longest-match-wins, as in the production segmentation).
+        """
+        word_tokens = [token for token in tokenize(text) if token.is_word()]
+        words = [token.lower for token in word_tokens]
+        matches: List[Tuple[Phrase, int, int]] = []
+        index = 0
+        count = len(words)
+        while index < count:
+            matched = None
+            for phrase in self._by_first.get(words[index], ()):
+                size = len(phrase)
+                if index + size <= count and tuple(words[index : index + size]) == phrase:
+                    matched = phrase
+                    break
+            if matched is None:
+                index += 1
+                continue
+            start = word_tokens[index].start
+            end = word_tokens[index + len(matched) - 1].end
+            matches.append((matched, start, end))
+            index += len(matched)
+        return matches

@@ -1,0 +1,65 @@
+"""Named-entity detection from editorial dictionaries.
+
+"Named entities are detected with the help of editorially reviewed
+dictionaries ... It is possible that a named entity can be a member of
+multiple types, such as the term jaguar, in which case the entity is
+disambiguated" (Section II-A).  Disambiguation here is contextual: the
+type whose other dictionary entities also occur in the document wins;
+failing that, the dictionary's primary type is used.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.corpus.dictionaries import EditorialDictionary
+from repro.detection.base import KIND_NAMED, Detection
+from repro.detection.matcher import PhraseMatcher
+
+
+class NamedEntityDetector:
+    """Dictionary-driven detector with type disambiguation."""
+
+    def __init__(self, dictionary: EditorialDictionary):
+        self._dictionary = dictionary
+        self._matcher = PhraseMatcher(
+            tuple(phrase.split()) for phrase in dictionary.phrases()
+        )
+
+    def detect(self, text: str) -> List[Detection]:
+        """All dictionary entities in *text* with resolved types."""
+        matches = self._matcher.find(text)
+        # first pass: count unambiguous types in the document as context
+        context_types: Counter = Counter()
+        for phrase, __, __end in matches:
+            key = " ".join(phrase)
+            if not self._dictionary.is_ambiguous(key):
+                entity_type = self._dictionary.high_level_type(key)
+                if entity_type:
+                    context_types[entity_type] += 1
+
+        detections: List[Detection] = []
+        for phrase, start, end in matches:
+            key = " ".join(phrase)
+            entity_type = self._resolve_type(key, context_types)
+            detections.append(
+                Detection(
+                    text=text[start:end],
+                    start=start,
+                    end=end,
+                    kind=KIND_NAMED,
+                    entity_type=entity_type,
+                    terms=phrase,
+                )
+            )
+        return detections
+
+    def _resolve_type(self, phrase: str, context_types: Counter) -> str:
+        entries = self._dictionary.lookup(phrase)
+        types = [entry.high_level_type for entry in entries]
+        if len(set(types)) <= 1:
+            return types[0]
+        # ambiguous: prefer the candidate type most supported by context
+        best = max(types, key=lambda t: (context_types.get(t, 0), -types.index(t)))
+        return best

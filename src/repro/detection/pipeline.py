@@ -1,0 +1,117 @@
+"""The Contextual Shortcuts detection pipeline.
+
+Glues together the pre-processing and the three detectors, then applies
+the paper's post-processing: "collision detection between overlapping
+entities, disambiguation, filtering, and output annotation"
+(Section II).  The pipeline output — candidate entities with concept-
+vector scores — is exactly what the ranking layer consumes, and
+ranking by the concept-vector score alone *is* the paper's baseline
+production system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.detection.base import KIND_PATTERN, Detection
+from repro.detection.concepts import ConceptDetector
+from repro.detection.conceptvector import ConceptVectorScorer
+from repro.detection.named import NamedEntityDetector
+from repro.detection.patterns import PatternDetector
+from repro.text.html import strip_html
+
+
+@dataclass
+class AnnotatedDocument:
+    """Pipeline output: plain text plus scored, collision-free detections."""
+
+    text: str
+    detections: List[Detection] = field(default_factory=list)
+
+    def rankable(self) -> List[Detection]:
+        """Detections subject to ranking (pattern entities are always shown)."""
+        return [d for d in self.detections if d.kind != KIND_PATTERN]
+
+    def by_concept_vector_score(self) -> List[Detection]:
+        """Rankable detections ordered by the baseline score, descending."""
+        return sorted(self.rankable(), key=lambda d: (-d.score, d.start))
+
+    def annotate(self, marker: str = "[[{}]]") -> str:
+        """The text with every detection wrapped (the "intelligent
+        hyperlink" annotation step, rendered as plain markers)."""
+        pieces: List[str] = []
+        cursor = 0
+        for detection in sorted(self.detections, key=lambda d: d.start):
+            pieces.append(self.text[cursor : detection.start])
+            pieces.append(marker.format(self.text[detection.start : detection.end]))
+            cursor = detection.end
+        pieces.append(self.text[cursor:])
+        return "".join(pieces)
+
+
+def resolve_collisions(detections: List[Detection]) -> List[Detection]:
+    """Drop overlapping detections, keeping the higher-priority span.
+
+    Priority: longer span first, then pattern > named > concept.
+    """
+    ordered = sorted(
+        detections, key=lambda d: (-d.priority()[0], -d.priority()[1], d.start)
+    )
+    kept: List[Detection] = []
+    for candidate in ordered:
+        if any(candidate.overlaps(existing) for existing in kept):
+            continue
+        kept.append(candidate)
+    kept.sort(key=lambda d: d.start)
+    return kept
+
+
+def deduplicate(detections: List[Detection]) -> List[Detection]:
+    """Keep only the first occurrence of each phrase.
+
+    An entity is annotated once per page; views/clicks are counted per
+    entity, not per occurrence (Section III).
+    """
+    seen: Dict[str, Detection] = {}
+    for detection in detections:
+        if detection.phrase not in seen:
+            seen[detection.phrase] = detection
+    return sorted(seen.values(), key=lambda d: d.start)
+
+
+class ShortcutsPipeline:
+    """End-to-end detection: HTML -> candidates with baseline scores."""
+
+    def __init__(
+        self,
+        concept_detector: ConceptDetector,
+        scorer: ConceptVectorScorer,
+        named_detector: Optional[NamedEntityDetector] = None,
+        pattern_detector: Optional[PatternDetector] = None,
+    ):
+        self._concepts = concept_detector
+        self._scorer = scorer
+        self._named = named_detector
+        self._patterns = pattern_detector or PatternDetector()
+
+    def process(self, document: str, is_html: bool = False) -> AnnotatedDocument:
+        """Run the full pipeline on *document*."""
+        text = strip_html(document) if is_html else document
+
+        candidates: List[Detection] = []
+        candidates.extend(self._patterns.detect(text))
+        if self._named is not None:
+            candidates.extend(self._named.detect(text))
+        candidates.extend(self._concepts.detect(text))
+
+        resolved = deduplicate(resolve_collisions(candidates))
+
+        vector = self._scorer.concept_vector(text)
+        scored = [
+            d
+            if d.kind == KIND_PATTERN
+            else d.with_score(self._scorer.score_phrase(vector, d.phrase))
+            for d in resolved
+        ]
+        return AnnotatedDocument(text=text, detections=scored)

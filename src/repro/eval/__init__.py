@@ -1,0 +1,100 @@
+"""Evaluation harness: environment, cross-validation, editorial, production."""
+
+from repro.eval.crossval import (
+    EvalResult,
+    RankingExperiment,
+    collect_dataset,
+)
+from repro.eval.editorial import (
+    CONTENT_ANSWERS,
+    CONTENT_NEWS,
+    GRADES,
+    NOT,
+    SOMEWHAT,
+    VERY,
+    EditorialJudge,
+    EditorialStudy,
+    JudgeConfig,
+    JudgmentTable,
+)
+from repro.eval.environment import Environment, EnvironmentConfig
+from repro.eval.experiments import (
+    SummationRow,
+    production_ctr_experiment,
+    table2_summations,
+    table3_interestingness,
+    table4_relevance,
+    table5_combined,
+    table6_editorial,
+    train_combined_ranker,
+)
+from repro.eval.detection_quality import DetectionQuality, evaluate_detection
+from repro.eval.figures import render_bar, render_ndcg_figure, render_wer_figure
+from repro.eval.position_bias import (
+    PositionBin,
+    decay_ratio,
+    fitted_decay_chars,
+    position_ctr_curve,
+)
+from repro.eval.robustness import (
+    EXPECTED_ORDERINGS,
+    SweepResult,
+    seed_sweep,
+)
+from repro.eval.significance import BootstrapComparison, paired_bootstrap
+from repro.eval.temporal import (
+    TemporalExperimentResult,
+    temporal_feature_experiment,
+)
+from repro.eval.production import (
+    PeriodStats,
+    ProductionComparison,
+    aggregate_period,
+    run_production_experiment,
+)
+
+__all__ = [
+    "EvalResult",
+    "RankingExperiment",
+    "collect_dataset",
+    "CONTENT_ANSWERS",
+    "CONTENT_NEWS",
+    "GRADES",
+    "NOT",
+    "SOMEWHAT",
+    "VERY",
+    "EditorialJudge",
+    "EditorialStudy",
+    "JudgeConfig",
+    "JudgmentTable",
+    "Environment",
+    "EnvironmentConfig",
+    "SummationRow",
+    "production_ctr_experiment",
+    "table2_summations",
+    "table3_interestingness",
+    "table4_relevance",
+    "table5_combined",
+    "table6_editorial",
+    "train_combined_ranker",
+    "DetectionQuality",
+    "evaluate_detection",
+    "PositionBin",
+    "decay_ratio",
+    "fitted_decay_chars",
+    "position_ctr_curve",
+    "render_bar",
+    "render_ndcg_figure",
+    "render_wer_figure",
+    "EXPECTED_ORDERINGS",
+    "SweepResult",
+    "seed_sweep",
+    "BootstrapComparison",
+    "paired_bootstrap",
+    "TemporalExperimentResult",
+    "temporal_feature_experiment",
+    "PeriodStats",
+    "ProductionComparison",
+    "aggregate_period",
+    "run_production_experiment",
+]

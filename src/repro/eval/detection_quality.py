@@ -1,0 +1,121 @@
+"""Detection accuracy evaluation (the paper's first quality dimension).
+
+The paper's prior work measured user-centric entity detection along
+"three core dimensions: the accuracy, the interestingness, and the
+relevance of the entities it presents" (Section I-B).  The ranking
+experiments cover the latter two; this module measures the first
+against the synthetic world's ground truth:
+
+* **span detection**: precision/recall/F1 of detected concept spans vs
+  the embedded ground-truth mentions (restricted to mentions whose
+  phrase is in the detectable inventory, since undetectable concepts
+  are a coverage choice, not a detector error);
+* **type accuracy**: how often the named-entity disambiguator assigns
+  the correct taxonomy type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Set, Tuple
+
+from repro.corpus.documents import GeneratedDocument
+from repro.corpus.world import SyntheticWorld
+from repro.detection.base import KIND_NAMED
+from repro.detection.pipeline import ShortcutsPipeline
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Aggregate detection accuracy over a document batch."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    type_correct: int
+    type_total: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def type_accuracy(self) -> float:
+        return self.type_correct / self.type_total if self.type_total else 1.0
+
+
+def _ground_truth_spans(
+    world: SyntheticWorld,
+    document: GeneratedDocument,
+    detectable: Set[str],
+) -> Set[Tuple[int, int, str]]:
+    spans = set()
+    for mention in document.mentions:
+        phrase = world.concepts[mention.concept_id].phrase.lower()
+        if phrase in detectable:
+            spans.add((mention.start, mention.end, phrase))
+    return spans
+
+
+def evaluate_detection(
+    world: SyntheticWorld,
+    pipeline: ShortcutsPipeline,
+    documents: Sequence[GeneratedDocument],
+) -> DetectionQuality:
+    """Score the pipeline's detections against ground-truth mentions.
+
+    Detection is counted per span occurrence; the pipeline deduplicates
+    repeated phrases (it annotates each entity once), so later
+    ground-truth occurrences of an already-detected phrase are not
+    counted as misses.
+    """
+    detectable = {
+        " ".join(phrase): None
+        for phrase in pipeline._concepts._phrases  # inventory of the detector
+    }
+    detectable_set = set(detectable)
+    # dictionary entities are detectable too
+    detectable_set.update(p.lower() for p in world.dictionary.phrases())
+
+    tp = fp = fn = 0
+    type_correct = type_total = 0
+    for document in documents:
+        truth = _ground_truth_spans(world, document, detectable_set)
+        truth_phrases = {phrase for __, __e, phrase in truth}
+        annotated = pipeline.process(document.text)
+        detected_spans = set()
+        for detection in annotated.rankable():
+            detected_spans.add((detection.start, detection.end, detection.phrase))
+            if detection.kind == KIND_NAMED:
+                concept = world._concept_by_phrase.get(detection.phrase)
+                if concept is not None and concept.taxonomy_type is not None:
+                    type_total += 1
+                    type_correct += (
+                        detection.entity_type == concept.taxonomy_type
+                    )
+        for span in detected_spans:
+            if span in truth or span[2] in truth_phrases:
+                tp += 1
+            else:
+                fp += 1
+        detected_phrases = {phrase for __, __e, phrase in detected_spans}
+        missed_phrases = truth_phrases - detected_phrases
+        fn += len(missed_phrases)
+    return DetectionQuality(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        type_correct=type_correct,
+        type_total=type_total,
+    )

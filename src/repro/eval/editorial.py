@@ -1,0 +1,137 @@
+"""The editorial study (paper Section V-B, Table VI).
+
+A team of expert judges rates each highlighted entity for
+interestingness (Very / Somewhat / Not) and relevance (Very / Somewhat
+/ Not).  Our judges are simulated: each judgment thresholds the
+entity's latent quality plus independent per-judge noise — the same
+latents the click model reads, but through a separate noisy channel,
+exactly the role human judges play relative to click data.
+
+The corpus mirrors the paper's: full-length News stories (top 3
+entities annotated) and short Answers snippets (top 2), comparing the
+concept-vector ranking against the learned ranking algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.corpus.documents import GeneratedDocument
+from repro.corpus.world import SyntheticWorld
+
+VERY = "very"
+SOMEWHAT = "somewhat"
+NOT = "not"
+GRADES = (VERY, SOMEWHAT, NOT)
+
+CONTENT_NEWS = "news"
+CONTENT_ANSWERS = "answers"
+
+
+@dataclass(frozen=True)
+class JudgeConfig:
+    """Thresholds and noise of the simulated judge pool."""
+
+    noise_sigma: float = 0.12
+    interesting_very: float = 0.45
+    interesting_somewhat: float = 0.15
+    relevant_very: float = 0.60
+    relevant_somewhat: float = 0.30
+
+
+class EditorialJudge:
+    """One simulated expert judge."""
+
+    def __init__(self, config: JudgeConfig = JudgeConfig(), seed: int = 11):
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+
+    def _grade(self, latent: float, very: float, somewhat: float) -> str:
+        observed = latent + self._rng.normal(0.0, self.config.noise_sigma)
+        if observed >= very:
+            return VERY
+        if observed >= somewhat:
+            return SOMEWHAT
+        return NOT
+
+    def judge_interestingness(self, latent_interestingness: float) -> str:
+        cfg = self.config
+        return self._grade(
+            latent_interestingness, cfg.interesting_very, cfg.interesting_somewhat
+        )
+
+    def judge_relevance(self, latent_relevance: float) -> str:
+        cfg = self.config
+        return self._grade(latent_relevance, cfg.relevant_very, cfg.relevant_somewhat)
+
+
+@dataclass
+class JudgmentTable:
+    """Grade distributions for one (ranker, content type) cell of Table VI."""
+
+    interestingness: Dict[str, float] = field(default_factory=dict)
+    relevance: Dict[str, float] = field(default_factory=dict)
+    judged_entities: int = 0
+
+    def not_interesting_or_relevant(self) -> float:
+        """Average of the two "Not" percentages (the paper's -45.1% stat)."""
+        return (self.interestingness[NOT] + self.relevance[NOT]) / 2.0
+
+
+# a ranker maps (story, candidate phrases) -> phrases ranked best-first
+RankerFn = Callable[[GeneratedDocument, List[str]], List[str]]
+
+
+class EditorialStudy:
+    """Runs the Table VI comparison on a generated corpus."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        judge: EditorialJudge,
+        top_news: int = 3,
+        top_answers: int = 2,
+    ):
+        self._world = world
+        self._judge = judge
+        self.top_by_content = {
+            CONTENT_NEWS: top_news,
+            CONTENT_ANSWERS: top_answers,
+        }
+
+    def judge_ranker(
+        self,
+        documents: Sequence[GeneratedDocument],
+        content_type: str,
+        ranked_phrases_per_doc: Sequence[List[str]],
+    ) -> JudgmentTable:
+        """Judge the top-k annotations a ranker selected per document."""
+        top_k = self.top_by_content[content_type]
+        interest_counts = {grade: 0 for grade in GRADES}
+        relevance_counts = {grade: 0 for grade in GRADES}
+        judged = 0
+        for document, ranked in zip(documents, ranked_phrases_per_doc):
+            for phrase in ranked[:top_k]:
+                concept = self._world.concept_by_phrase(phrase)
+                latent_relevance = document.relevance_of(concept.concept_id)
+                interest_counts[
+                    self._judge.judge_interestingness(concept.interestingness)
+                ] += 1
+                relevance_counts[
+                    self._judge.judge_relevance(latent_relevance)
+                ] += 1
+                judged += 1
+        if judged == 0:
+            raise ValueError("no entities were judged")
+        return JudgmentTable(
+            interestingness={
+                grade: interest_counts[grade] / judged for grade in GRADES
+            },
+            relevance={
+                grade: relevance_counts[grade] / judged for grade in GRADES
+            },
+            judged_entities=judged,
+        )

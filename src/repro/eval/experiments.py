@@ -1,0 +1,224 @@
+"""High-level experiment drivers: one function per paper table/figure.
+
+Benchmarks and EXPERIMENTS.md generation share these, so the numbers a
+benchmark prints are exactly the numbers the documentation records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.corpus.documents import StoryGenerator
+from repro.eval.crossval import EvalResult, RankingExperiment
+from repro.eval.editorial import (
+    CONTENT_ANSWERS,
+    CONTENT_NEWS,
+    EditorialJudge,
+    EditorialStudy,
+    JudgmentTable,
+)
+from repro.eval.environment import Environment
+from repro.eval.production import ProductionComparison, run_production_experiment
+from repro.features.interestingness import FEATURE_GROUPS
+from repro.features.relevance import (
+    RESOURCE_PRISMA,
+    RESOURCE_SNIPPETS,
+    RESOURCE_SUGGESTIONS,
+    RelevanceScorer,
+)
+from repro.ranking.model import ConceptRanker, FeatureAssembler
+from repro.ranking.ranksvm import RankSVM
+
+
+# -- Table II ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SummationRow:
+    phrase: str
+    summation: float
+    kind: str  # "specific" or "general/junk"
+
+
+def table2_summations(
+    env: Environment, specific_count: int = 3, junk_count: int = 3
+) -> List[SummationRow]:
+    """Top specific concepts vs junk phrases by keyword-score summation."""
+    world = env.world
+    specific = sorted(
+        (
+            c
+            for c in world.concepts
+            if not c.is_junk and c.specificity > 0.8 and len(c.terms) >= 2
+        ),
+        key=lambda c: env.query_log.freq_exact(c.terms),
+        reverse=True,
+    )[:specific_count]
+    junk = world.junk_concepts()[:junk_count]
+    phrases = [c.phrase for c in specific + junk]
+    model = env.relevance_model(phrases, RESOURCE_SNIPPETS)
+    rows = [
+        SummationRow(c.phrase, model.summation(c.phrase), "specific")
+        for c in specific
+    ]
+    rows += [
+        SummationRow(c.phrase, model.summation(c.phrase), "general/junk")
+        for c in junk
+    ]
+    return rows
+
+
+# -- Tables III-V and Figures 1-3 ---------------------------------------------
+
+
+def table3_interestingness(exp: RankingExperiment) -> List[EvalResult]:
+    """Random / concept-vector / all-features + leave-one-group-out."""
+    results = [
+        exp.run_random(),
+        exp.run_concept_vector(),
+        exp.run_model("all features"),
+    ]
+    for group in FEATURE_GROUPS:
+        results.append(exp.run_model(f"- {group}", exclude_groups=(group,)))
+    return results
+
+
+def table4_relevance(exp: RankingExperiment) -> List[EvalResult]:
+    """Relevance-score-only ranking per mining resource."""
+    return [
+        exp.run_random(),
+        exp.run_concept_vector(),
+        exp.run_relevance_only(RESOURCE_PRISMA),
+        exp.run_relevance_only(RESOURCE_SUGGESTIONS),
+        exp.run_relevance_only(RESOURCE_SNIPPETS),
+    ]
+
+
+def table5_combined(exp: RankingExperiment) -> List[EvalResult]:
+    """The headline comparison: all rankers, combined model last."""
+    return [
+        exp.run_random(),
+        exp.run_concept_vector(),
+        exp.run_model("best interestingness model"),
+        exp.run_relevance_only(RESOURCE_SNIPPETS),
+        exp.run_model(
+            "interestingness + relevance",
+            relevance_resource=RESOURCE_SNIPPETS,
+            tie_break_with_relevance=True,
+        ),
+    ]
+
+
+# -- trained production ranker -------------------------------------------------
+
+
+def train_combined_ranker(
+    env: Environment,
+    exp: RankingExperiment,
+    kernel: str = "linear",
+) -> ConceptRanker:
+    """Train the full model on the whole dataset for deployment use."""
+    features = exp.feature_matrix((), RESOURCE_SNIPPETS)
+    model = RankSVM(kernel=kernel)
+    model.fit(features, exp._labels_arr, exp._groups_arr)
+    inventory = [c.phrase for c in env.world.concepts]
+    scorer = RelevanceScorer(env.relevance_model(inventory, RESOURCE_SNIPPETS))
+    assembler = FeatureAssembler(
+        extractor=env.extractor, relevance_scorer=scorer
+    )
+    return ConceptRanker(assembler, model)
+
+
+# -- Table VI -------------------------------------------------------------------
+
+
+def _answers_generator(env: Environment, seed: int) -> StoryGenerator:
+    """Short Q&A-style snippets (the paper's Yahoo! Answers corpus)."""
+    import numpy as np
+
+    return StoryGenerator(
+        np.random.default_rng((env.world.config.seed, seed)),
+        env.world.topics,
+        env.world.concepts,
+        env.world.vocabulary,
+        min_words=50,
+        max_words=130,
+        relevant_range=(2, 4),
+        offtopic_range=(1, 2),
+    )
+
+
+def table6_editorial(
+    env: Environment,
+    ranker: ConceptRanker,
+    news_count: int = 100,
+    answers_count: int = 200,
+    judge_seed: int = 11,
+) -> Dict[str, Dict[str, JudgmentTable]]:
+    """Editorial comparison: {ranker_name: {content_type: judgments}}."""
+    study = EditorialStudy(env.world, EditorialJudge(seed=judge_seed))
+    corpora = {
+        CONTENT_NEWS: env.stories(news_count, seed=301),
+        CONTENT_ANSWERS: _answers_generator(env, 302).generate_many(answers_count),
+    }
+    known = {c.phrase.lower() for c in env.world.concepts}
+
+    def baseline_ranking(document) -> List[str]:
+        annotated = env.pipeline.process(document.text)
+        return [
+            d.phrase
+            for d in annotated.by_concept_vector_score()
+            if d.phrase in known
+        ]
+
+    def learned_ranking(document) -> List[str]:
+        annotated = env.pipeline.process(document.text)
+        pruned = annotated.__class__(
+            text=annotated.text,
+            detections=[d for d in annotated.detections if d.phrase in known],
+        )
+        return [d.phrase for d in ranker.rank_document(pruned)]
+
+    results: Dict[str, Dict[str, JudgmentTable]] = {
+        "concept vector score": {},
+        "ranking algorithm": {},
+    }
+    for content_type, documents in corpora.items():
+        results["concept vector score"][content_type] = study.judge_ranker(
+            documents, content_type, [baseline_ranking(d) for d in documents]
+        )
+        results["ranking algorithm"][content_type] = study.judge_ranker(
+            documents, content_type, [learned_ranking(d) for d in documents]
+        )
+    return results
+
+
+# -- Section V-C -----------------------------------------------------------------
+
+
+def production_ctr_experiment(
+    env: Environment,
+    ranker: ConceptRanker,
+    annotate_top: int = 3,
+    stories_per_week: int = 30,
+    before_weeks: int = 20,
+    after_weeks: int = 15,
+) -> ProductionComparison:
+    """The before/after deployment comparison of Section V-C."""
+    before_tracker = env.tracker(seed=601)
+    after_tracker = env.tracker(seed=602, annotate_top=annotate_top, ranker=ranker)
+
+    def story_source(week: int, count: int):
+        return env.stories(count, seed=700 + week)
+
+    return run_production_experiment(
+        before_tracker,
+        after_tracker,
+        stories_per_week=stories_per_week,
+        before_weeks=before_weeks,
+        after_weeks=after_weeks,
+        story_source=story_source,
+    )

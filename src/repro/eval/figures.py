@@ -1,0 +1,53 @@
+"""ASCII rendering of the paper's figures for terminal reports.
+
+Figures 1-3 are NDCG bar charts; the benchmark report renders them as
+text bars so the reproduction output is self-contained without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.eval.crossval import EvalResult
+
+_BAR_WIDTH = 40
+
+
+def render_bar(value: float, width: int = _BAR_WIDTH, peak: float = 1.0) -> str:
+    """A single horizontal bar for a value in [0, peak]."""
+    if peak <= 0:
+        filled = 0
+    else:
+        filled = int(round(min(max(value / peak, 0.0), 1.0) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_ndcg_figure(
+    results: Sequence[EvalResult], ks: Sequence[int] = (1, 2, 3)
+) -> List[str]:
+    """Grouped bars: one block per cutoff k, one bar per technique."""
+    lines: List[str] = []
+    name_width = max(len(result.name) for result in results)
+    for k in ks:
+        lines.append(f"ndcg@{k}")
+        for result in results:
+            value = result.ndcg[k]
+            lines.append(
+                f"  {result.name:<{name_width}s} "
+                f"{render_bar(value)} {value:.3f}"
+            )
+    return lines
+
+
+def render_wer_figure(results: Sequence[EvalResult]) -> List[str]:
+    """Bars of weighted error rate (shorter is better), scaled to 50%."""
+    lines: List[str] = []
+    name_width = max(len(result.name) for result in results)
+    for result in results:
+        value = result.weighted_error_rate
+        lines.append(
+            f"  {result.name:<{name_width}s} "
+            f"{render_bar(value, peak=0.5)} {value * 100:.2f}%"
+        )
+    return lines

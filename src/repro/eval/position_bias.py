@@ -1,0 +1,91 @@
+"""Position-bias analysis (the rationale for Section V-A.1 windowing).
+
+"To avoid the positioning bias inherent in working with user click data
+(i.e. the first entities in a document may get an unfair share of user
+attention), we partitioned large documents into windows."
+
+This module measures that bias from tracked click records: CTR as a
+function of the entity's character position, binned.  The measured
+decay justifies the windowing step and calibrates the click model's
+``position_decay_chars``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.clicks.tracking import StoryClickRecord
+
+
+@dataclass(frozen=True)
+class PositionBin:
+    """Aggregated CTR of entities whose position falls in one bin."""
+
+    char_start: int
+    char_end: int
+    views: int
+    clicks: int
+
+    @property
+    def ctr(self) -> float:
+        return self.clicks / self.views if self.views else 0.0
+
+
+def position_ctr_curve(
+    records: Sequence[StoryClickRecord],
+    bin_chars: int = 500,
+    max_position: int = 4000,
+) -> List[PositionBin]:
+    """CTR per position bin over a batch of tracked stories."""
+    if bin_chars <= 0:
+        raise ValueError("bin_chars must be positive")
+    bin_count = max(1, max_position // bin_chars)
+    views = np.zeros(bin_count, dtype=np.int64)
+    clicks = np.zeros(bin_count, dtype=np.int64)
+    for record in records:
+        for entity in record.entities:
+            index = min(entity.position // bin_chars, bin_count - 1)
+            views[index] += entity.views
+            clicks[index] += entity.clicks
+    return [
+        PositionBin(
+            char_start=i * bin_chars,
+            char_end=(i + 1) * bin_chars,
+            views=int(views[i]),
+            clicks=int(clicks[i]),
+        )
+        for i in range(bin_count)
+    ]
+
+
+def decay_ratio(curve: Sequence[PositionBin]) -> float:
+    """First-bin CTR over last-populated-bin CTR (>1 means bias)."""
+    populated = [bin_ for bin_ in curve if bin_.views > 0]
+    if len(populated) < 2 or populated[-1].ctr == 0:
+        return 1.0
+    return populated[0].ctr / populated[-1].ctr
+
+
+def fitted_decay_chars(curve: Sequence[PositionBin]) -> float:
+    """Least-squares exponential decay constant of the CTR curve.
+
+    Fits log(ctr) ~ -position / tau; returns tau in characters.  This
+    is how the click model's ``position_decay_chars`` can be recovered
+    from tracking data alone.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for bin_ in curve:
+        if bin_.views > 0 and bin_.ctr > 0:
+            centre = (bin_.char_start + bin_.char_end) / 2.0
+            xs.append(centre)
+            ys.append(np.log(bin_.ctr))
+    if len(xs) < 2:
+        return float("inf")
+    slope, __ = np.polyfit(np.asarray(xs), np.asarray(ys), 1)
+    if slope >= 0:
+        return float("inf")
+    return float(-1.0 / slope)

@@ -1,0 +1,123 @@
+"""Seed-robustness analysis: do the paper's orderings survive resampling?
+
+A reproduction claim is only as good as its stability: the headline
+orderings (random > baseline > interestingness/relevance > combined)
+must hold across independently generated worlds, not just the one seed
+the benchmarks use.  ``seed_sweep`` reruns the core comparison over
+several seeds at reduced scale and reports per-ranker mean ± std plus
+how often each pairwise ordering held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.world import WorldConfig
+from repro.eval.crossval import RankingExperiment, collect_dataset
+from repro.eval.environment import Environment, EnvironmentConfig
+from repro.features.relevance import RESOURCE_SNIPPETS
+
+RANKERS = (
+    "random",
+    "concept vector score",
+    "interestingness",
+    "relevance (snippets)",
+    "combined",
+)
+
+# orderings that must hold for the reproduction to count as stable:
+# (better, worse) by weighted error rate
+EXPECTED_ORDERINGS: Tuple[Tuple[str, str], ...] = (
+    ("concept vector score", "random"),
+    ("interestingness", "concept vector score"),
+    ("relevance (snippets)", "concept vector score"),
+    ("combined", "interestingness"),
+    ("combined", "relevance (snippets)"),
+)
+
+
+@dataclass
+class SweepResult:
+    """Per-ranker WERs for every seed, with stability summaries."""
+
+    seeds: List[int] = field(default_factory=list)
+    wer: Dict[str, List[float]] = field(
+        default_factory=lambda: {name: [] for name in RANKERS}
+    )
+
+    def mean(self, ranker: str) -> float:
+        return float(np.mean(self.wer[ranker]))
+
+    def std(self, ranker: str) -> float:
+        return float(np.std(self.wer[ranker]))
+
+    def ordering_hold_rate(self, better: str, worse: str) -> float:
+        """Fraction of seeds where WER(better) < WER(worse)."""
+        pairs = zip(self.wer[better], self.wer[worse])
+        outcomes = [b < w for b, w in pairs]
+        return float(np.mean(outcomes)) if outcomes else 0.0
+
+    def all_orderings_hold_everywhere(self) -> bool:
+        return all(
+            self.ordering_hold_rate(better, worse) == 1.0
+            for better, worse in EXPECTED_ORDERINGS
+        )
+
+
+def _world_for_seed(base: WorldConfig, seed: int) -> WorldConfig:
+    return WorldConfig(
+        seed=seed,
+        vocabulary_size=base.vocabulary_size,
+        topic_count=base.topic_count,
+        words_per_topic=base.words_per_topic,
+        concept_count=base.concept_count,
+        named_entity_fraction=base.named_entity_fraction,
+        junk_fraction=base.junk_fraction,
+        topic_page_count=base.topic_page_count,
+        zipf_exponent=base.zipf_exponent,
+    )
+
+
+def seed_sweep(
+    seeds: Sequence[int],
+    base_world: WorldConfig = WorldConfig(
+        vocabulary_size=1600,
+        topic_count=20,
+        words_per_topic=45,
+        concept_count=200,
+        topic_page_count=120,
+    ),
+    stories: int = 150,
+) -> SweepResult:
+    """Run the Table V comparison over several independent worlds."""
+    result = SweepResult()
+    for seed in seeds:
+        env = Environment.build(
+            EnvironmentConfig(world=_world_for_seed(base_world, seed))
+        )
+        dataset = collect_dataset(env, stories, story_seed=1)
+        experiment = RankingExperiment(env, dataset)
+        result.seeds.append(seed)
+        result.wer["random"].append(
+            experiment.run_random().weighted_error_rate
+        )
+        result.wer["concept vector score"].append(
+            experiment.run_concept_vector().weighted_error_rate
+        )
+        result.wer["interestingness"].append(
+            experiment.run_model("i").weighted_error_rate
+        )
+        result.wer["relevance (snippets)"].append(
+            experiment.run_relevance_only(RESOURCE_SNIPPETS).weighted_error_rate
+        )
+        result.wer["combined"].append(
+            experiment.run_model(
+                "c",
+                relevance_resource=RESOURCE_SNIPPETS,
+                tie_break_with_relevance=True,
+            ).weighted_error_rate
+        )
+    return result

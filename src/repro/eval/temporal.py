@@ -1,0 +1,219 @@
+"""The temporal-features extension experiment (paper Section IV-C).
+
+The paper leaves trend awareness to future work; this experiment
+quantifies it.  A multi-week world with breaking-news events is
+simulated: event concepts are searched for more, written about more,
+and clicked more during their event week.  Two rankers are compared
+under cross-validation:
+
+* **static** — the paper's Table I interestingness features, computed
+  from a single reference week (so they cannot see the spikes);
+* **static + temporal** — the same features plus ``spike_ratio`` and
+  ``momentum`` from the weekly query logs.
+
+The temporal features should recover a good part of the event-driven
+CTR variance the static model misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.eval.environment import Environment
+from repro.metrics.error_rate import grouped_errors
+from repro.querylog.temporal import (
+    TemporalQueryLog,
+    boosted_concepts,
+    event_boosts,
+    generate_temporal_query_log,
+    generate_world_events,
+)
+from repro.corpus.documents import StoryGenerator
+from repro.ranking.ranksvm import RankSVM
+
+
+@dataclass(frozen=True)
+class TemporalExperimentResult:
+    """Weighted error rates of the static vs temporal-aware models.
+
+    The ``event_*`` fields restrict the metric to ranking groups that
+    contain at least one spiking concept — where trend features can
+    actually matter.
+    """
+
+    static_wer: float
+    temporal_wer: float
+    event_static_wer: float
+    event_temporal_wer: float
+    entity_count: int
+    event_entity_count: int
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.static_wer <= 0:
+            return 0.0
+        return (1.0 - self.temporal_wer / self.static_wer) * 100.0
+
+    @property
+    def event_improvement_percent(self) -> float:
+        if self.event_static_wer <= 0:
+            return 0.0
+        return (1.0 - self.event_temporal_wer / self.event_static_wer) * 100.0
+
+
+def _collect_event_week_data(
+    env: Environment,
+    weeks: int,
+    stories_per_week: int,
+    events_per_week: float,
+    seed: int,
+):
+    """Simulate weekly tracking with world events.
+
+    Returns flat arrays (phrases, weeks, labels, groups) plus the
+    temporal query log and event schedule.
+    """
+    rng = np.random.default_rng((env.world.config.seed, seed))
+    events = generate_world_events(
+        rng, env.world.concepts, weeks, events_per_week=events_per_week
+    )
+    temporal_log = generate_temporal_query_log(
+        rng,
+        env.world.concepts,
+        env.world.topics,
+        env.world.vocabulary,
+        weeks,
+        events=events,
+    )
+
+    phrases: List[str] = []
+    entity_weeks: List[int] = []
+    labels: List[float] = []
+    groups: List[int] = []
+    event_groups: set = set()
+    group_id = 0
+    event_entities = 0
+    for week in range(weeks):
+        boosts = event_boosts(events, week)
+        story_generator = StoryGenerator(
+            np.random.default_rng((env.world.config.seed, seed, week)),
+            env.world.topics,
+            boosted_concepts(env.world.concepts, boosts),
+            env.world.vocabulary,
+        )
+        tracker = env.tracker(seed=seed * 1000 + week, interest_boosts=boosts)
+        for story in story_generator.generate_many(stories_per_week):
+            record = tracker.track_story(story)
+            if record.views < 30 or len(record.entities) < 2:
+                continue
+            for entity in record.entities:
+                phrases.append(entity.phrase)
+                entity_weeks.append(week)
+                labels.append(entity.ctr)
+                groups.append(group_id)
+                if entity.concept_id in boosts:
+                    event_entities += 1
+                    event_groups.add(group_id)
+            group_id += 1
+    return (
+        phrases,
+        entity_weeks,
+        labels,
+        groups,
+        temporal_log,
+        event_entities,
+        event_groups,
+    )
+
+
+def _feature_rows(
+    env: Environment,
+    phrases: List[str],
+    entity_weeks: List[int],
+    temporal_log: TemporalQueryLog,
+    include_temporal: bool,
+) -> np.ndarray:
+    static_cache: Dict[str, np.ndarray] = {}
+    rows: List[np.ndarray] = []
+    for phrase, week in zip(phrases, entity_weeks):
+        static = static_cache.get(phrase)
+        if static is None:
+            static = env.extractor.extract(phrase).numeric()
+            static_cache[phrase] = static
+        if not include_temporal:
+            rows.append(static)
+            continue
+        terms = tuple(phrase.split())
+        spike = np.log(temporal_log.spike_ratio(terms, week))
+        momentum = temporal_log.momentum(terms, week)
+        rows.append(np.concatenate([static, [spike, momentum]]))
+    return np.vstack(rows)
+
+
+def temporal_feature_experiment(
+    env: Environment,
+    weeks: int = 8,
+    stories_per_week: int = 40,
+    events_per_week: float = 4.0,
+    folds: int = 5,
+    seed: int = 17,
+) -> TemporalExperimentResult:
+    """Run the static vs static+temporal comparison."""
+    (
+        phrases,
+        entity_weeks,
+        labels,
+        groups,
+        temporal_log,
+        event_entities,
+        event_groups,
+    ) = _collect_event_week_data(
+        env, weeks, stories_per_week, events_per_week, seed
+    )
+    labels_arr = np.asarray(labels)
+    groups_arr = np.asarray(groups)
+    fold_rng = np.random.default_rng(seed)
+    unique_groups = np.unique(groups_arr)
+    fold_of_group = {
+        int(g): int(f)
+        for g, f in zip(unique_groups, fold_rng.integers(0, folds, unique_groups.size))
+    }
+    folds_arr = np.asarray([fold_of_group[int(g)] for g in groups_arr])
+
+    event_mask = np.asarray([int(g) in event_groups for g in groups_arr])
+    results = {}
+    event_results = {}
+    for include_temporal in (False, True):
+        features = _feature_rows(
+            env, phrases, entity_weeks, temporal_log, include_temporal
+        )
+        scores = np.zeros(len(phrases))
+        for fold in range(folds):
+            train = folds_arr != fold
+            test = ~train
+            if not test.any():
+                continue
+            model = RankSVM()
+            model.fit(features[train], labels_arr[train], groups_arr[train])
+            scores[test] = model.decision_function(features[test])
+        errors = grouped_errors(labels_arr, scores, groups_arr)
+        results[include_temporal] = errors.weighted_error_rate
+        if event_mask.any():
+            event_errors = grouped_errors(
+                labels_arr[event_mask], scores[event_mask], groups_arr[event_mask]
+            )
+            event_results[include_temporal] = event_errors.weighted_error_rate
+        else:
+            event_results[include_temporal] = 0.0
+
+    return TemporalExperimentResult(
+        static_wer=results[False],
+        temporal_wer=results[True],
+        event_static_wer=event_results[False],
+        event_temporal_wer=event_results[True],
+        entity_count=len(phrases),
+        event_entity_count=event_entities,
+    )

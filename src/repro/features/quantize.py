@@ -1,0 +1,56 @@
+"""Fixed-width quantization for the production stores (Section VI).
+
+The framework fits each interestingness field into **two bytes** ("this
+causes a minor decrease in granularity") and each relevant-keyword
+score into **ten bits** (0..1023), packed next to a 22-bit term id.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def quantize(value: float, max_value: float, bits: int) -> int:
+    """Map *value* in [0, max_value] to an unsigned *bits*-bit integer.
+
+    Values are clamped; max_value <= 0 maps everything to 0.
+    """
+    if bits <= 0 or bits > 32:
+        raise ValueError("bits must be in 1..32")
+    levels = (1 << bits) - 1
+    if max_value <= 0:
+        return 0
+    scaled = round(float(value) / float(max_value) * levels)
+    return int(min(max(scaled, 0), levels))
+
+
+def dequantize(code: int, max_value: float, bits: int) -> float:
+    """Inverse of :func:`quantize` (up to quantization error)."""
+    levels = (1 << bits) - 1
+    if levels == 0 or max_value <= 0:
+        return 0.0
+    return float(code) / levels * float(max_value)
+
+
+def quantize_array(
+    values: Sequence[float], max_values: Sequence[float], bits: int = 16
+) -> np.ndarray:
+    """Quantize a feature vector field-by-field (2-byte fields by default)."""
+    if len(values) != len(max_values):
+        raise ValueError("values and max_values must align")
+    return np.array(
+        [quantize(v, m, bits) for v, m in zip(values, max_values)],
+        dtype=np.uint32,
+    )
+
+
+def dequantize_array(
+    codes: Sequence[int], max_values: Sequence[float], bits: int = 16
+) -> np.ndarray:
+    if len(codes) != len(max_values):
+        raise ValueError("codes and max_values must align")
+    return np.array(
+        [dequantize(c, m, bits) for c, m in zip(codes, max_values)], dtype=float
+    )

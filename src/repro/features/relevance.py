@@ -1,0 +1,193 @@
+"""Relevance: offline keyword mining and runtime context scoring.
+
+Paper Section IV-B.  For every concept ``c_i`` we pre-mine its top
+``m = 100`` relevant context keywords ``relevantTerms_i = {(t, s), ...}``
+from three resources:
+
+* **search engine snippets** — snippets of the first hundred phrase-query
+  results, treated as a single bag-of-words document, scored by tf*idf;
+* **Prisma** — the top-twenty pseudo-relevance-feedback terms, scored the
+  same way (the 20-term cap is the paper's explanation for Prisma's
+  weaker results in Table IV);
+* **related query suggestions** — up to 300 suggestions with query
+  frequencies; each term scores sum_k ln(query_freq_k) * idf(term).
+
+All terms are stemmed, lower-cased, punctuation-stripped.  At runtime
+the relevance of a concept in a context is the summed score of its
+pre-mined keywords that co-occur with it in the context — which also
+provides the paper's "safety net": junk concepts mine only low-scoring,
+scattered keywords (Table II), so they can never achieve a high
+relevance score in any context.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.search.prisma import PrismaTool
+from repro.search.snippets import SnippetService
+from repro.search.suggestions import SuggestionService
+from repro.text.stemmer import stem
+from repro.text.stopwords import is_stopword
+from repro.text.tokenizer import tokenize_lower
+from repro.text.vectorize import DocumentFrequencyTable
+
+import math
+
+RelevantTerms = Tuple[Tuple[str, float], ...]
+
+RESOURCE_SNIPPETS = "snippets"
+RESOURCE_PRISMA = "prisma"
+RESOURCE_SUGGESTIONS = "suggestions"
+RESOURCES = (RESOURCE_SNIPPETS, RESOURCE_PRISMA, RESOURCE_SUGGESTIONS)
+
+
+def stemmed_terms(text: str) -> List[str]:
+    """Stemmed, lower-cased, stopword-free content terms of *text*."""
+    return [stem(word) for word in tokenize_lower(text) if not is_stopword(word)]
+
+
+def build_stemmed_df(texts: Iterable[str]) -> DocumentFrequencyTable:
+    """A document-frequency table over stemmed corpus text.
+
+    Relevant keywords are stored stemmed, so their idf must be computed
+    in stemmed space too.
+    """
+    table = DocumentFrequencyTable()
+    for text in texts:
+        table.add_document(stemmed_terms(text))
+    return table
+
+
+class RelevantKeywordMiner:
+    """Mines relevantTerms_i for concepts from the three resources."""
+
+    def __init__(
+        self,
+        snippet_service: SnippetService,
+        prisma: PrismaTool,
+        suggestions: SuggestionService,
+        stemmed_df: DocumentFrequencyTable,
+        keyword_count: int = 100,
+    ):
+        self._snippets = snippet_service
+        self._prisma = prisma
+        self._suggestions = suggestions
+        self._df = stemmed_df
+        self.keyword_count = keyword_count
+
+    # -- per-resource mining ------------------------------------------------
+
+    def mine_from_snippets(self, phrase: str) -> RelevantTerms:
+        """tf*idf over the concatenated top-100 result snippets."""
+        snippets = self._snippets.snippets_for_phrase(phrase, limit=100)
+        return self._tf_idf_keywords(phrase, " ".join(snippets))
+
+    def mine_from_prisma(self, phrase: str) -> RelevantTerms:
+        """tf*idf over the (at most twenty) Prisma feedback terms."""
+        feedback = self._prisma.feedback(phrase)
+        document = " ".join(term for term, __ in feedback)
+        return self._tf_idf_keywords(phrase, document)
+
+    def mine_from_suggestions(self, phrase: str) -> RelevantTerms:
+        """sum_k ln(freq_k) * idf scoring over related-query suggestions."""
+        concept_stems = set(stemmed_terms(phrase))
+        scores: Dict[str, float] = {}
+        for suggestion, frequency in self._suggestions.suggest(phrase):
+            log_freq = math.log(max(2, frequency))
+            for term in set(stemmed_terms(suggestion)):
+                if term in concept_stems:
+                    continue
+                scores[term] = scores.get(term, 0.0) + log_freq
+        weighted = {
+            term: value * self._df.raw_idf(term) for term, value in scores.items()
+        }
+        return self._top_terms(weighted)
+
+    def mine(self, phrase: str, resource: str) -> RelevantTerms:
+        """Dispatch by resource name (one of :data:`RESOURCES`)."""
+        if resource == RESOURCE_SNIPPETS:
+            return self.mine_from_snippets(phrase)
+        if resource == RESOURCE_PRISMA:
+            return self.mine_from_prisma(phrase)
+        if resource == RESOURCE_SUGGESTIONS:
+            return self.mine_from_suggestions(phrase)
+        raise ValueError(f"unknown resource: {resource!r}")
+
+    # -- helpers ---------------------------------------------------------
+
+    def _tf_idf_keywords(self, phrase: str, document: str) -> RelevantTerms:
+        concept_stems = set(stemmed_terms(phrase))
+        counts = Counter(
+            term for term in stemmed_terms(document) if term not in concept_stems
+        )
+        scores = {
+            term: count * self._df.raw_idf(term) for term, count in counts.items()
+        }
+        return self._top_terms(scores)
+
+    def _top_terms(self, scores: Dict[str, float]) -> RelevantTerms:
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(ranked[: self.keyword_count])
+
+
+class RelevanceModel:
+    """Offline store: concept phrase -> relevant terms with scores."""
+
+    def __init__(self, entries: Dict[str, RelevantTerms]):
+        self._entries = {phrase.lower(): terms for phrase, terms in entries.items()}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, phrase: str) -> bool:
+        return phrase.lower() in self._entries
+
+    def phrases(self) -> List[str]:
+        return list(self._entries)
+
+    def relevant_terms(self, phrase: str) -> RelevantTerms:
+        return self._entries.get(phrase.lower(), ())
+
+    def summation(self, phrase: str) -> float:
+        """Sum of the concept's top-keyword scores (the Table II statistic)."""
+        return sum(score for __, score in self._entries.get(phrase.lower(), ()))
+
+    @classmethod
+    def mine_all(
+        cls,
+        miner: RelevantKeywordMiner,
+        phrases: Sequence[str],
+        resource: str = RESOURCE_SNIPPETS,
+    ) -> "RelevanceModel":
+        """Run the offline mining for every phrase."""
+        return cls({phrase: miner.mine(phrase, resource) for phrase in phrases})
+
+
+class RelevanceScorer:
+    """Runtime relevance of a concept in a context (Section IV-B)."""
+
+    def __init__(self, model: RelevanceModel):
+        self._model = model
+
+    @staticmethod
+    def context_stems(text: str) -> Set[str]:
+        """The stemmed term set of a context, computed once per document."""
+        return set(stemmed_terms(text))
+
+    def score(self, phrase: str, context: Set[str]) -> float:
+        """Summed score of the concept's keywords present in *context*.
+
+        The absolute (un-normalized) sum is intentional: junk concepts
+        have low-scoring keywords, so their ceiling is low in *any*
+        context — the safety-net property.
+        """
+        return sum(
+            score
+            for term, score in self._model.relevant_terms(phrase)
+            if term in context
+        )
+
+    def score_text(self, phrase: str, text: str) -> float:
+        return self.score(phrase, self.context_stems(text))

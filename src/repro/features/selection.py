@@ -1,0 +1,142 @@
+"""Feature selection (the paper's Section IV-A process, made explicit).
+
+The paper repeatedly reports features "eliminated during [the] feature
+selection process" (cosine-similarity query variants, the regular-query
+result count, idf-derived features).  This module implements that
+process: greedy backward elimination of feature *columns* (or groups)
+by cross-validated weighted error rate — remove the feature whose
+removal helps most, stop when nothing helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.error_rate import grouped_errors
+from repro.ranking.ranksvm import RankSVM
+
+
+@dataclass
+class SelectionStep:
+    """One elimination round's outcome."""
+
+    removed: Optional[str]  # None on the initial (full set) step
+    kept: Tuple[str, ...]
+    weighted_error_rate: float
+
+
+@dataclass
+class SelectionResult:
+    """The full elimination trace and the selected feature set."""
+
+    steps: List[SelectionStep] = field(default_factory=list)
+
+    @property
+    def selected(self) -> Tuple[str, ...]:
+        return self.steps[-1].kept if self.steps else ()
+
+    @property
+    def eliminated(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for step in self.steps:
+            if step.removed is not None:
+                names.append(step.removed)
+        return tuple(names)
+
+    @property
+    def final_error(self) -> float:
+        return self.steps[-1].weighted_error_rate if self.steps else 1.0
+
+
+def _cv_error(
+    features: np.ndarray,
+    labels: np.ndarray,
+    groups: np.ndarray,
+    folds: np.ndarray,
+    make_model: Callable[[], RankSVM],
+) -> float:
+    scores = np.zeros(labels.shape[0])
+    for fold in np.unique(folds):
+        train = folds != fold
+        test = ~train
+        if not test.any() or not train.any():
+            continue
+        model = make_model()
+        model.fit(features[train], labels[train], groups[train])
+        scores[test] = model.decision_function(features[test])
+    return grouped_errors(labels, scores, groups).weighted_error_rate
+
+
+def backward_eliminate(
+    features: np.ndarray,
+    labels: Sequence[float],
+    groups: Sequence[int],
+    feature_names: Sequence[str],
+    folds: int = 3,
+    min_improvement: float = 0.0,
+    min_features: int = 1,
+    make_model: Optional[Callable[[], RankSVM]] = None,
+    fold_seed: int = 5,
+) -> SelectionResult:
+    """Greedy backward elimination over feature columns.
+
+    At each round, every remaining feature is tentatively dropped and
+    the cross-validated WER re-measured; the drop with the best error
+    is kept if it improves on the current error by more than
+    *min_improvement*.  Deterministic given the seed.
+    """
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    groups = np.asarray(groups)
+    names = list(feature_names)
+    if features.shape[1] != len(names):
+        raise ValueError("feature_names must match feature columns")
+    if make_model is None:
+        make_model = lambda: RankSVM(epochs=120)  # noqa: E731
+
+    rng = np.random.default_rng(fold_seed)
+    unique_groups = np.unique(groups)
+    fold_of = {
+        int(g): int(f)
+        for g, f in zip(unique_groups, rng.integers(0, folds, unique_groups.size))
+    }
+    fold_array = np.asarray([fold_of[int(g)] for g in groups])
+
+    kept = list(range(len(names)))
+    current = _cv_error(
+        features[:, kept], labels, groups, fold_array, make_model
+    )
+    result = SelectionResult(
+        steps=[
+            SelectionStep(
+                removed=None,
+                kept=tuple(names[i] for i in kept),
+                weighted_error_rate=current,
+            )
+        ]
+    )
+
+    while len(kept) > min_features:
+        candidates: List[Tuple[float, int]] = []
+        for position, column in enumerate(kept):
+            trial = kept[:position] + kept[position + 1 :]
+            error = _cv_error(
+                features[:, trial], labels, groups, fold_array, make_model
+            )
+            candidates.append((error, column))
+        best_error, best_column = min(candidates)
+        if best_error > current - min_improvement:
+            break
+        kept.remove(best_column)
+        current = best_error
+        result.steps.append(
+            SelectionStep(
+                removed=names[best_column],
+                kept=tuple(names[i] for i in kept),
+                weighted_error_rate=current,
+            )
+        )
+    return result

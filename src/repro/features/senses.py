@@ -1,0 +1,228 @@
+"""Sense clustering for ambiguous concepts (paper Section IV-C).
+
+"If a concept is ambiguous, then the relevant keywords mined might have
+low final scores, as they would not cluster well globally.  However,
+there would be some good local clusters, depending on the number of
+senses, and if such clusters can be identified then the scores can be
+boosted.  A number of techniques, including ones that are based on
+latent semantic analysis, can potentially be useful for this problem."
+
+This module implements that proposal: snippets are embedded with LSA
+(truncated SVD of the tf*idf snippet-term matrix), clustered with
+k-means (k chosen by within-cluster dispersion improvement), and
+relevant keywords are mined *per sense*.  The sense-aware relevance of
+a concept in a context is the best single sense's keyword overlap — so
+a "jaguar" page about cars matches the car sense at full strength
+instead of a diluted global average.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.features.relevance import RelevantTerms, stemmed_terms
+from repro.search.snippets import SnippetService
+from repro.text.vectorize import DocumentFrequencyTable
+
+
+def kmeans(
+    points: np.ndarray, k: int, seed: int = 0, iterations: int = 30
+) -> Tuple[np.ndarray, float]:
+    """Plain k-means on rows of *points*.
+
+    Returns (labels, total within-cluster squared distance).  Centroids
+    are initialized k-means++-style from a seeded generator.
+    """
+    count = points.shape[0]
+    if k <= 0 or k > count:
+        raise ValueError("k must be in 1..len(points)")
+    rng = np.random.default_rng(seed)
+    centroids = [points[int(rng.integers(count))]]
+    while len(centroids) < k:
+        distances = np.min(
+            [((points - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centroids.append(points[int(rng.integers(count))])
+            continue
+        centroids.append(points[int(rng.choice(count, p=distances / total))])
+    centers = np.vstack(centroids)
+    labels = np.zeros(count, dtype=int)
+    for __ in range(iterations):
+        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all() and __ > 0:
+            break
+        labels = new_labels
+        for index in range(k):
+            members = points[labels == index]
+            if len(members):
+                centers[index] = members.mean(axis=0)
+    inertia = float(
+        ((points - centers[labels]) ** 2).sum()
+    )
+    return labels, inertia
+
+
+@dataclass
+class SenseModel:
+    """Per-sense relevant keywords of one concept."""
+
+    phrase: str
+    senses: List[RelevantTerms]
+
+    @property
+    def sense_count(self) -> int:
+        return len(self.senses)
+
+    def score(self, context: Set[str]) -> float:
+        """Sense-aware relevance: the best single sense's overlap."""
+        best = 0.0
+        for sense in self.senses:
+            total = sum(score for term, score in sense if term in context)
+            best = max(best, total)
+        return best
+
+
+class LsaSenseMiner:
+    """Mines per-sense relevant keywords via LSA + k-means."""
+
+    def __init__(
+        self,
+        snippet_service: SnippetService,
+        stemmed_df: DocumentFrequencyTable,
+        lsa_dims: int = 12,
+        max_senses: int = 3,
+        keyword_count: int = 100,
+        min_cluster_size: int = 5,
+        improvement_threshold: float = 0.25,
+        seed: int = 0,
+    ):
+        self._snippets = snippet_service
+        self._df = stemmed_df
+        self.lsa_dims = lsa_dims
+        self.max_senses = max_senses
+        self.keyword_count = keyword_count
+        self.min_cluster_size = min_cluster_size
+        self.improvement_threshold = improvement_threshold
+        self.seed = seed
+
+    # -- embedding -------------------------------------------------------
+
+    def _snippet_matrix(
+        self, snippets: Sequence[str], concept_stems: Set[str]
+    ) -> Tuple[np.ndarray, List[str]]:
+        """Row-normalized tf*idf matrix over the snippet set's terms."""
+        term_index: Dict[str, int] = {}
+        rows: List[Counter] = []
+        for snippet in snippets:
+            counts = Counter(
+                term
+                for term in stemmed_terms(snippet)
+                if term not in concept_stems
+            )
+            rows.append(counts)
+            for term in counts:
+                term_index.setdefault(term, len(term_index))
+        matrix = np.zeros((len(snippets), len(term_index)))
+        for row_id, counts in enumerate(rows):
+            for term, count in counts.items():
+                matrix[row_id, term_index[term]] = count * self._df.raw_idf(term)
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        terms = [None] * len(term_index)
+        for term, index in term_index.items():
+            terms[index] = term
+        return matrix / norms, terms
+
+    def _lsa(self, matrix: np.ndarray) -> np.ndarray:
+        """Truncated-SVD embedding of the snippet rows."""
+        if min(matrix.shape) == 0:
+            return np.zeros((matrix.shape[0], 1))
+        dims = min(self.lsa_dims, min(matrix.shape))
+        u, s, __ = np.linalg.svd(matrix, full_matrices=False)
+        return u[:, :dims] * s[:dims]
+
+    def _choose_clustering(self, embedded: np.ndarray) -> np.ndarray:
+        """Pick the sense count by relative inertia improvement."""
+        count = embedded.shape[0]
+        best_labels = np.zeros(count, dtype=int)
+        if count < 2 * self.min_cluster_size:
+            return best_labels
+        __, previous_inertia = kmeans(embedded, 1, seed=self.seed)
+        for k in range(2, self.max_senses + 1):
+            if count < k * self.min_cluster_size:
+                break
+            labels, inertia = kmeans(embedded, k, seed=self.seed)
+            sizes = np.bincount(labels, minlength=k)
+            if sizes.min() < self.min_cluster_size:
+                break
+            if previous_inertia <= 0:
+                break
+            improvement = 1.0 - inertia / previous_inertia
+            if improvement < self.improvement_threshold:
+                break
+            best_labels = labels
+            previous_inertia = inertia
+        return best_labels
+
+    # -- mining -------------------------------------------------------------
+
+    def _keywords_for(
+        self, snippets: Sequence[str], concept_stems: Set[str]
+    ) -> RelevantTerms:
+        counts = Counter(
+            term
+            for snippet in snippets
+            for term in stemmed_terms(snippet)
+            if term not in concept_stems
+        )
+        scored = {
+            term: count * self._df.raw_idf(term) for term, count in counts.items()
+        }
+        ranked = sorted(scored.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(ranked[: self.keyword_count])
+
+    def mine(self, phrase: str, snippet_limit: int = 100) -> SenseModel:
+        """Mine the sense model for *phrase*."""
+        snippets = self._snippets.snippets_for_phrase(phrase, limit=snippet_limit)
+        concept_stems = set(stemmed_terms(phrase))
+        if not snippets:
+            return SenseModel(phrase=phrase.lower(), senses=[])
+        matrix, __ = self._snippet_matrix(snippets, concept_stems)
+        embedded = self._lsa(matrix)
+        labels = self._choose_clustering(embedded)
+        senses: List[RelevantTerms] = []
+        for sense_id in sorted(set(labels.tolist())):
+            members = [s for s, label in zip(snippets, labels) if label == sense_id]
+            senses.append(self._keywords_for(members, concept_stems))
+        return SenseModel(phrase=phrase.lower(), senses=senses)
+
+
+class SenseAwareRelevanceScorer:
+    """Drop-in relevance scorer backed by per-sense keyword models."""
+
+    def __init__(self, models: Dict[str, SenseModel]):
+        self._models = {phrase.lower(): model for phrase, model in models.items()}
+
+    @staticmethod
+    def context_stems(text: str) -> Set[str]:
+        return set(stemmed_terms(text))
+
+    def score(self, phrase: str, context: Set[str]) -> float:
+        model = self._models.get(phrase.lower())
+        if model is None:
+            return 0.0
+        return model.score(context)
+
+    def score_text(self, phrase: str, text: str) -> float:
+        return self.score(phrase, self.context_stems(text))
+
+    def sense_count(self, phrase: str) -> int:
+        model = self._models.get(phrase.lower())
+        return model.sense_count if model else 0

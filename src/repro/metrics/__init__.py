@@ -1,0 +1,24 @@
+"""Evaluation metrics: (weighted) pairwise error rate and bucketized NDCG."""
+
+from repro.metrics.error_rate import (
+    EMPTY_ERRORS,
+    PairwiseErrors,
+    error_rate,
+    grouped_errors,
+    pairwise_errors,
+    weighted_error_rate,
+)
+from repro.metrics.ndcg import CTRBucketizer, dcg_at_k, mean_ndcg, ndcg_at_k
+
+__all__ = [
+    "EMPTY_ERRORS",
+    "PairwiseErrors",
+    "error_rate",
+    "grouped_errors",
+    "pairwise_errors",
+    "weighted_error_rate",
+    "CTRBucketizer",
+    "dcg_at_k",
+    "mean_ndcg",
+    "ndcg_at_k",
+]

@@ -1,0 +1,107 @@
+"""Pairwise error-rate metrics (paper Section V-A.2, equations 4-5).
+
+* **error rate** — the fraction of preference pairs ordered wrongly;
+* **weighted error rate** — each mistake weighted by the pair's CTR
+  difference, "since CTRs usually reflect the strength of the
+  preferences":
+
+      WER = sum_{mistaken pairs} |ctr_i - ctr_j|
+            --------------------------------------
+            sum_{all pairs}      |ctr_i - ctr_j|
+
+Pairs are formed within ranking groups only.  A predicted tie on a
+strict preference counts as half a mistake — the expectation under the
+random tie-break the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PairwiseErrors:
+    """Accumulated pair statistics for one or more groups."""
+
+    mistakes: float
+    mistake_weight: float
+    total_pairs: float
+    total_weight: float
+
+    @property
+    def error_rate(self) -> float:
+        """Equation 4: |mistaken pairs| / |all pairs|."""
+        return self.mistakes / self.total_pairs if self.total_pairs else 0.0
+
+    @property
+    def weighted_error_rate(self) -> float:
+        """Equation 5: CTR-difference-weighted error rate."""
+        return self.mistake_weight / self.total_weight if self.total_weight else 0.0
+
+    def __add__(self, other: "PairwiseErrors") -> "PairwiseErrors":
+        return PairwiseErrors(
+            self.mistakes + other.mistakes,
+            self.mistake_weight + other.mistake_weight,
+            self.total_pairs + other.total_pairs,
+            self.total_weight + other.total_weight,
+        )
+
+
+EMPTY_ERRORS = PairwiseErrors(0.0, 0.0, 0.0, 0.0)
+
+
+def pairwise_errors(
+    labels: Sequence[float], predicted: Sequence[float]
+) -> PairwiseErrors:
+    """Pair statistics for one group (one document/window ranking)."""
+    labels = np.asarray(labels, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if labels.shape != predicted.shape:
+        raise ValueError("labels and predicted scores must align")
+    mistakes = mistake_weight = total = total_weight = 0.0
+    count = labels.shape[0]
+    for a in range(count):
+        for b in range(a + 1, count):
+            gap = labels[a] - labels[b]
+            if gap == 0.0:
+                continue
+            weight = abs(gap)
+            total += 1.0
+            total_weight += weight
+            score_gap = predicted[a] - predicted[b]
+            if score_gap == 0.0:
+                mistakes += 0.5
+                mistake_weight += 0.5 * weight
+            elif (score_gap > 0) != (gap > 0):
+                mistakes += 1.0
+                mistake_weight += weight
+    return PairwiseErrors(mistakes, mistake_weight, total, total_weight)
+
+
+def grouped_errors(
+    labels: Sequence[float],
+    predicted: Sequence[float],
+    groups: Sequence[int],
+) -> PairwiseErrors:
+    """Accumulate pair statistics over many ranking groups."""
+    labels = np.asarray(labels, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    groups = np.asarray(groups)
+    result = EMPTY_ERRORS
+    for group in np.unique(groups):
+        mask = groups == group
+        result = result + pairwise_errors(labels[mask], predicted[mask])
+    return result
+
+
+def error_rate(labels, predicted) -> float:
+    """Equation 4 for a single group."""
+    return pairwise_errors(labels, predicted).error_rate
+
+
+def weighted_error_rate(labels, predicted) -> float:
+    """Equation 5 for a single group."""
+    return pairwise_errors(labels, predicted).weighted_error_rate

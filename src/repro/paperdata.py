@@ -1,0 +1,142 @@
+"""The paper's reported numbers, as structured constants.
+
+Single source of truth for every figure the paper reports, used by the
+benchmarks (to print measured-vs-paper rows) and by documentation
+generation.  Values are transcribed from Irmak, von Brzeski, Kraft,
+"Contextual Ranking of Keywords Using Click Data", ICDE 2009.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# -- Table II: summation of top-100 relevant-keyword scores --------------------
+
+TABLE2_SUMMATIONS: Dict[str, float] = {
+    "methicillin resistant staphylococcus aureus": 9544.3,
+    "motorola razr v3m silver": 9118.7,
+    "egyptian foreign minister ahmed aboul gheit": 9024.9,
+    "my favorite": 2142.9,
+    "the other": 1718.0,
+    "what is happening": 1503.0,
+}
+
+TABLE2_SPECIFIC = tuple(list(TABLE2_SUMMATIONS)[:3])
+TABLE2_JUNK = tuple(list(TABLE2_SUMMATIONS)[3:])
+
+
+# -- Table III: weighted error rate, interestingness features -----------------
+
+TABLE3_WER: Dict[str, float] = {
+    "random": 50.01,
+    "concept vector score": 30.22,
+    "all features": 23.69,
+    "- query_logs": 24.50,
+    "- taxonomy": 24.47,
+    "- search_results": 23.80,
+    "- other": 23.78,
+    "- text_based": 23.73,
+}
+
+
+# -- Table IV: weighted error rate, relevance score only ----------------------
+
+TABLE4_WER: Dict[str, float] = {
+    "random": 50.01,
+    "concept vector score": 30.22,
+    "best interestingness model": 23.69,
+    "relevance only (prisma)": 32.32,
+    "relevance only (suggestions)": 31.23,
+    "relevance only (snippets)": 24.86,
+}
+
+
+# -- Table V: weighted error rate, all features --------------------------------
+
+TABLE5_WER: Dict[str, float] = {
+    "random": 50.01,
+    "concept vector score": 30.22,
+    "best interestingness model": 23.69,
+    "relevance only (snippets)": 24.86,
+    "interestingness + relevance": 18.66,
+}
+
+
+# -- Table VI: editorial study (percentages) -----------------------------------
+# (ranker, content) -> {criterion: (very, somewhat, not)}
+
+TABLE6_JUDGMENTS: Dict[Tuple[str, str], Dict[str, Tuple[float, float, float]]] = {
+    ("concept vector score", "news"): {
+        "interestingness": (32.6, 40.9, 26.4),
+        "relevance": (53.0, 29.2, 17.7),
+    },
+    ("concept vector score", "answers"): {
+        "interestingness": (35.9, 35.4, 28.5),
+        "relevance": (50.3, 29.1, 20.4),
+    },
+    ("ranking algorithm", "news"): {
+        "interestingness": (45.4, 39.5, 15.1),
+        "relevance": (66.3, 26.3, 7.4),
+    },
+    ("ranking algorithm", "answers"): {
+        "interestingness": (41.6, 40.3, 18.1),
+        "relevance": (61.3, 28.1, 10.6),
+    },
+}
+
+# the paper's headline editorial statistic
+TABLE6_NOT_SHARE_BEFORE = 23.3
+TABLE6_NOT_SHARE_AFTER = 12.8
+TABLE6_NOT_SHARE_DROP = 45.1
+
+
+# -- Section V-C: production deployment ----------------------------------------
+
+PRODUCTION_VIEWS_CHANGE = -52.5
+PRODUCTION_CLICKS_CHANGE = -2.0
+PRODUCTION_CTR_CHANGE = +100.1
+PRODUCTION_BEFORE_WEEKS = 20
+PRODUCTION_AFTER_WEEKS = 15
+
+
+# -- Section VI: framework -------------------------------------------------------
+
+FRAMEWORK = {
+    "interestingness_mb_per_1m": 18.0,
+    "relevance_mb_per_1m": 400.0,
+    "stemmer_mb_per_s": 7.9,
+    "ranker_mb_per_s": 2.4,
+    "test_documents": 1445,
+    "avg_document_kb": 2.5,
+    "detections_per_document": 6.45,
+    "tid_bits": 22,
+    "score_bits": 10,
+    "relevant_keywords_per_concept": 100,
+}
+
+
+# -- Section V-A.1: dataset -------------------------------------------------------
+
+DATASET = {
+    "stories": 870,
+    "concepts_detected": 6420,
+    "sampled_clicks": 16549,
+    "windows": 947,
+    "min_views": 30,
+    "window_chars": 2500,
+    "window_overlap": 500,
+    "query_log_queries": 20_000_000,
+}
+
+
+# -- metric worked examples (Section V-A.2) ---------------------------------------
+
+WORKED_EXAMPLE = {
+    "ctrs": (0.15, 0.05, 0.02, 0.01),  # A, B, C, D
+    "r1_error_rate": 1 / 6,
+    "r2_error_rate": 1 / 6,
+    "r1_weighted_error_rate": 0.0222,
+    "r2_weighted_error_rate": 0.2222,
+    "r1_ndcg": {1: 1.0, 2: 1.0, 3: 0.98},
+    "r2_ndcg": {1: 0.23, 2: 0.75, 3: 0.76},
+}

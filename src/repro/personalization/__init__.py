@@ -1,0 +1,28 @@
+"""Personalization extension (paper Section IV-C future work):
+user profiles, per-user interaction history, collaborative filtering."""
+
+from repro.personalization.cf import (
+    FactorizationModel,
+    PersonalizedScorer,
+    factorize,
+)
+from repro.personalization.history import (
+    InteractionMatrix,
+    PersonalizedClickSimulator,
+)
+from repro.personalization.users import (
+    UserProfile,
+    generate_users,
+    personal_interest,
+)
+
+__all__ = [
+    "FactorizationModel",
+    "PersonalizedScorer",
+    "factorize",
+    "InteractionMatrix",
+    "PersonalizedClickSimulator",
+    "UserProfile",
+    "generate_users",
+    "personal_interest",
+]

@@ -1,0 +1,43 @@
+"""Query-log substrate: synthetic logs, containment indexes, unit mining."""
+
+from repro.querylog.generator import generate_query_log, query_log_for_world
+from repro.querylog.log import Phrase, QueryLog
+from repro.querylog.intent import (
+    INTENT_INFORMATIONAL,
+    INTENT_NAVIGATIONAL,
+    INTENT_TRANSACTIONAL,
+    INTENTS,
+    IntentClassifier,
+    IntentProfile,
+    classify_query,
+)
+from repro.querylog.temporal import (
+    TemporalQueryLog,
+    WorldEvent,
+    event_boosts,
+    generate_temporal_query_log,
+    generate_world_events,
+)
+from repro.querylog.units import Unit, UnitLexicon, UnitMiner
+
+__all__ = [
+    "generate_query_log",
+    "query_log_for_world",
+    "Phrase",
+    "QueryLog",
+    "INTENT_INFORMATIONAL",
+    "INTENT_NAVIGATIONAL",
+    "INTENT_TRANSACTIONAL",
+    "INTENTS",
+    "IntentClassifier",
+    "IntentProfile",
+    "classify_query",
+    "TemporalQueryLog",
+    "WorldEvent",
+    "event_boosts",
+    "generate_temporal_query_log",
+    "generate_world_events",
+    "Unit",
+    "UnitLexicon",
+    "UnitMiner",
+]

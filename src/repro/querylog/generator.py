@@ -1,0 +1,217 @@
+"""Synthetic query log generation.
+
+Substitutes for "the most popular 20 million queries submitted to the
+engine in the week of November 17-23, 2007" (Section V-A.1).  Queries
+are generated from the concept universe so that the statistics the
+feature space consumes are causally tied to the latents:
+
+* exact-concept query volume grows with latent interestingness (people
+  search for what interests them);
+* refinement queries ("<concept> <home-topic word>") create phrase
+  containment counts, suggestion-service data, and the term
+  co-occurrence that unit mining recovers;
+* junk phrases appear embedded in many long queries (which is exactly
+  why the paper says low-quality concepts reach the candidate set:
+  "their high unit scores");
+* background noise queries keep the log from being pure signal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.corpus.concepts import Concept
+from repro.corpus.topics import Topic
+from repro.corpus.vocabulary import Vocabulary
+from repro.querylog.log import Phrase, QueryLog
+
+
+def generate_query_log(
+    rng: np.random.Generator,
+    concepts: Sequence[Concept],
+    topics: Sequence[Topic],
+    vocabulary: Vocabulary,
+    exact_volume: int = 400,
+    refinement_queries_per_concept: int = 12,
+    junk_query_multiplier: float = 3.0,
+    noise_query_count: int = 3000,
+) -> QueryLog:
+    """Generate an aggregated query log over the concept universe.
+
+    *exact_volume* scales the expected submission count of the hottest
+    concepts' exact queries; everything else is proportional.
+    """
+    counts: Counter = Counter()
+
+    for concept in concepts:
+        if concept.is_junk:
+            _add_junk_queries(
+                rng, counts, concept, topics, junk_query_multiplier, exact_volume
+            )
+            continue
+        base = _exact_frequency(rng, concept, exact_volume)
+        if base > 0:
+            counts[tuple(concept.terms)] += base
+        _add_refinement_queries(
+            rng,
+            counts,
+            concept,
+            topics,
+            vocabulary,
+            base,
+            refinement_queries_per_concept,
+        )
+
+    _add_noise_queries(rng, counts, vocabulary, noise_query_count)
+    return QueryLog(counts)
+
+
+def _exact_frequency(
+    rng: np.random.Generator, concept: Concept, exact_volume: int
+) -> int:
+    """Exact-query volume: interestingness-driven with log-normal noise."""
+    expected = exact_volume * (concept.interestingness ** 1.5)
+    noisy = expected * float(rng.lognormal(0.0, 0.35))
+    return int(round(noisy))
+
+
+def _topic_word(
+    rng: np.random.Generator, concept: Concept, topics: Sequence[Topic]
+) -> str:
+    if concept.home_topics:
+        topic = topics[int(rng.choice(list(concept.home_topics)))]
+    else:
+        topic = topics[int(rng.integers(len(topics)))]
+    return topic.sample_words(rng, 1)[0]
+
+
+# intent-marker refinements; the mix depends on what the concept is
+# (people get looked up, products get shopped for) — this is the signal
+# the optional intent classifier (repro.querylog.intent) recovers
+_INTENT_MARKERS = {
+    "navigational": ["www", "site", "official", "homepage", "login"],
+    "transactional": ["buy", "price", "download", "cheap", "order"],
+    "informational": ["what", "how", "history", "facts", "about"],
+}
+_TYPE_INTENT_MIX = {
+    # (navigational, transactional, informational) weights by type
+    "person": (0.15, 0.05, 0.80),
+    "place": (0.20, 0.15, 0.65),
+    "organization": (0.50, 0.15, 0.35),
+    "product": (0.10, 0.70, 0.20),
+    "event": (0.10, 0.20, 0.70),
+    "animal": (0.05, 0.05, 0.90),
+    None: (0.10, 0.15, 0.75),
+}
+
+
+def _intent_marker(rng: np.random.Generator, concept: Concept) -> str:
+    weights = _TYPE_INTENT_MIX[concept.taxonomy_type]
+    roll = rng.random()
+    if roll < weights[0]:
+        pool = _INTENT_MARKERS["navigational"]
+    elif roll < weights[0] + weights[1]:
+        pool = _INTENT_MARKERS["transactional"]
+    else:
+        pool = _INTENT_MARKERS["informational"]
+    return pool[int(rng.integers(len(pool)))]
+
+
+def _refinement_word(
+    rng: np.random.Generator,
+    concept: Concept,
+    topics: Sequence[Topic],
+    vocabulary: Vocabulary,
+    topical_probability: float = 0.35,
+    intent_probability: float = 0.2,
+) -> str:
+    """A refinement term: topical, intent marker, or arbitrary.
+
+    Real refinement queries mix on-topic modifiers with intent markers
+    ("buy X", "X official site") and session noise; the noise share is
+    why suggestion-mined relevance keywords are noticeably noisier than
+    snippet-mined ones (paper Table IV).
+    """
+    roll = rng.random()
+    if roll < topical_probability:
+        return _topic_word(rng, concept, topics)
+    if roll < topical_probability + intent_probability:
+        return _intent_marker(rng, concept)
+    return vocabulary.sample(rng, 1)[0]
+
+
+def _add_refinement_queries(
+    rng: np.random.Generator,
+    counts: Counter,
+    concept: Concept,
+    topics: Sequence[Topic],
+    vocabulary: Vocabulary,
+    base: int,
+    per_concept: int,
+) -> None:
+    """Queries like "<concept> <word>" / "<word> <concept>".
+
+    Topical refinement words are what lets the suggestion service
+    (Section IV-B) recover keywords; the non-topical half is the noise
+    floor of real query sessions.
+    """
+    if base <= 0:
+        return
+    how_many = int(rng.integers(max(1, per_concept // 2), per_concept + 1))
+    for __ in range(how_many):
+        word = _refinement_word(rng, concept, topics, vocabulary)
+        if rng.random() < 0.75:
+            query: Phrase = tuple(concept.terms) + (word,)
+        else:
+            query = (word,) + tuple(concept.terms)
+        frequency = max(1, int(base * float(rng.uniform(0.05, 0.4))))
+        counts[query] += frequency
+
+
+def _add_junk_queries(
+    rng: np.random.Generator,
+    counts: Counter,
+    concept: Concept,
+    topics: Sequence[Topic],
+    multiplier: float,
+    exact_volume: int,
+) -> None:
+    """Junk phrases ride inside many distinct, fairly frequent queries.
+
+    "my favorite <anything>" style queries make the junk n-gram both
+    frequent and tightly co-occurring, giving it the high unit score
+    the paper warns about — while its exact interestingness stays low.
+    """
+    variant_count = int(10 * multiplier)
+    for __ in range(variant_count):
+        topic = topics[int(rng.integers(len(topics)))]
+        word = topic.sample_words(rng, 1)[0]
+        query = tuple(concept.terms) + (word,)
+        frequency = max(1, int(exact_volume * float(rng.uniform(0.05, 0.3))))
+        counts[query] += frequency
+    # the bare junk phrase is also typed occasionally
+    counts[tuple(concept.terms)] += max(1, int(exact_volume * 0.1))
+
+
+def _add_noise_queries(
+    rng: np.random.Generator,
+    counts: Counter,
+    vocabulary: Vocabulary,
+    count: int,
+) -> None:
+    """Background single- and two-word queries, Zipf-weighted."""
+    for __ in range(count):
+        size = 1 if rng.random() < 0.6 else 2
+        words = tuple(vocabulary.sample(rng, size))
+        counts[words] += int(rng.integers(1, 20))
+
+
+def query_log_for_world(world, seed: int = 101, **kwargs) -> QueryLog:
+    """Convenience: generate the log for a :class:`SyntheticWorld`."""
+    rng = np.random.default_rng((world.config.seed, seed))
+    return generate_query_log(
+        rng, world.concepts, world.topics, world.vocabulary, **kwargs
+    )

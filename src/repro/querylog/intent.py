@@ -1,0 +1,114 @@
+"""Query-intent classification (Broder's web-search taxonomy).
+
+The paper builds its query-log features from raw frequencies and notes:
+"we do not perform any categorization to understand their intentions
+such as navigational, transactional or informational (see [11]),
+although there might be potential benefits in doing so."  This module
+supplies that categorization as an optional extension:
+
+* a rule-based classifier over intent marker terms (the standard
+  approach at the paper's time: Broder 2002, Jansen et al.);
+* per-concept intent profiles — the share of a concept's containing
+  query volume that is navigational / transactional / informational;
+* intent-split frequency features that can be appended to the Table I
+  space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.querylog.log import Phrase, QueryLog
+
+INTENT_NAVIGATIONAL = "navigational"
+INTENT_TRANSACTIONAL = "transactional"
+INTENT_INFORMATIONAL = "informational"
+INTENTS = (INTENT_NAVIGATIONAL, INTENT_TRANSACTIONAL, INTENT_INFORMATIONAL)
+
+# marker vocabularies; real classifiers of the era used exactly such lists
+NAVIGATIONAL_MARKERS = frozenset(
+    {
+        "www", "com", "site", "website", "homepage", "login", "official",
+        "page", "portal",
+    }
+)
+TRANSACTIONAL_MARKERS = frozenset(
+    {
+        "buy", "download", "price", "cheap", "order", "free", "shop",
+        "purchase", "deal", "coupon", "sale", "rent",
+    }
+)
+INFORMATIONAL_MARKERS = frozenset(
+    {
+        "what", "how", "why", "who", "when", "history", "facts",
+        "meaning", "definition", "wiki", "about", "guide",
+    }
+)
+
+
+def classify_query(terms: Sequence[str]) -> str:
+    """Classify one query by its marker terms.
+
+    Precedence: transactional > navigational > informational-marked;
+    unmarked queries default to informational, following Broder's
+    observation that the informational class dominates.
+    """
+    term_set = {term.lower() for term in terms}
+    if term_set & TRANSACTIONAL_MARKERS:
+        return INTENT_TRANSACTIONAL
+    if term_set & NAVIGATIONAL_MARKERS:
+        return INTENT_NAVIGATIONAL
+    return INTENT_INFORMATIONAL
+
+
+@dataclass(frozen=True)
+class IntentProfile:
+    """A concept's containing-query volume split by intent."""
+
+    phrase: str
+    volume: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.volume.values())
+
+    def fraction(self, intent: str) -> float:
+        """Share of containing-query volume with *intent*."""
+        if intent not in self.volume:
+            raise KeyError(f"unknown intent: {intent!r}")
+        total = self.total
+        return self.volume[intent] / total if total else 0.0
+
+    def dominant(self) -> str:
+        """The intent with the most volume (informational on ties/empty)."""
+        if self.total == 0:
+            return INTENT_INFORMATIONAL
+        return max(INTENTS, key=lambda intent: self.volume[intent])
+
+
+class IntentClassifier:
+    """Builds intent profiles and intent-split features from a log."""
+
+    def __init__(self, query_log: QueryLog):
+        self._log = query_log
+
+    def profile(self, terms: Phrase) -> IntentProfile:
+        """The intent profile of queries containing *terms*."""
+        volume = {intent: 0 for intent in INTENTS}
+        for query, frequency in self._log.queries_containing(tuple(terms)):
+            volume[classify_query(query)] += frequency
+        return IntentProfile(phrase=" ".join(terms), volume=volume)
+
+    def intent_features(self, terms: Phrase) -> Tuple[float, float, float]:
+        """(navigational, transactional, informational) volume fractions.
+
+        Appendable to the Table I numeric vector for the intent-aware
+        model variant.
+        """
+        profile = self.profile(terms)
+        return (
+            profile.fraction(INTENT_NAVIGATIONAL),
+            profile.fraction(INTENT_TRANSACTIONAL),
+            profile.fraction(INTENT_INFORMATIONAL),
+        )

@@ -1,0 +1,88 @@
+"""Query log container with the lookups the feature space needs.
+
+The paper mines three interestingness features directly from query logs
+(Section IV-A): ``freq_exact`` (queries identical to the concept),
+``freq_phrase_contained`` (queries containing the concept as a phrase),
+and the unit score.  It also feeds the related-query suggestion service
+(Section IV-B), which needs "queries containing the concept" together
+with their frequencies.
+
+``QueryLog`` therefore indexes every query by all of its contiguous
+sub-phrases, so both lookups are O(1) dictionary probes at feature
+time — the same precompute-offline discipline the paper's production
+framework uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+Phrase = Tuple[str, ...]
+
+_MAX_INDEXED_PHRASE = 4
+
+
+def _subphrases(terms: Phrase, max_len: int = _MAX_INDEXED_PHRASE) -> Iterable[Phrase]:
+    count = len(terms)
+    for size in range(1, min(max_len, count) + 1):
+        for start in range(count - size + 1):
+            yield terms[start : start + size]
+
+
+class QueryLog:
+    """An aggregated query log: distinct query -> submission count."""
+
+    def __init__(self, counts: Mapping[Phrase, int]):
+        self._counts: Dict[Phrase, int] = {
+            tuple(terms): int(freq) for terms, freq in counts.items() if freq > 0
+        }
+        self.total_submissions = sum(self._counts.values())
+        self._contained_freq: Counter = Counter()
+        self._contained_queries: Dict[Phrase, List[Phrase]] = {}
+        for terms, freq in self._counts.items():
+            for sub in set(_subphrases(terms)):
+                self._contained_freq[sub] += freq
+                self._contained_queries.setdefault(sub, []).append(terms)
+
+    def __len__(self) -> int:
+        """Number of distinct queries."""
+        return len(self._counts)
+
+    def __contains__(self, terms: Phrase) -> bool:
+        return tuple(terms) in self._counts
+
+    def items(self) -> Iterable[Tuple[Phrase, int]]:
+        return self._counts.items()
+
+    def frequency(self, terms: Phrase) -> int:
+        """Submission count of the exact query *terms*."""
+        return self._counts.get(tuple(terms), 0)
+
+    # -- feature lookups ---------------------------------------------------
+
+    def freq_exact(self, terms: Phrase) -> int:
+        """Feature 1: number of queries exactly equal to the concept."""
+        return self.frequency(terms)
+
+    def freq_phrase_contained(self, terms: Phrase) -> int:
+        """Feature 2: total frequency of queries containing the phrase.
+
+        The phrase must appear contiguously and in order, exactly as the
+        paper's "contain the concept as a phrase".
+        """
+        return self._contained_freq.get(tuple(terms), 0)
+
+    def queries_containing(self, terms: Phrase) -> List[Tuple[Phrase, int]]:
+        """All distinct queries containing the phrase, with frequencies."""
+        queries = self._contained_queries.get(tuple(terms), ())
+        return [(q, self._counts[q]) for q in queries]
+
+    def top_queries(self, count: int) -> List[Tuple[Phrase, int]]:
+        """Most frequent *count* distinct queries."""
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+
+    @classmethod
+    def from_strings(cls, queries: Mapping[str, int]) -> "QueryLog":
+        """Build from a string query -> count mapping (whitespace split)."""
+        return cls({tuple(q.split()): c for q, c in queries.items()})

@@ -1,0 +1,184 @@
+"""Temporal query logs and trend detection (paper Section IV-C future work).
+
+"The interestingness of a concept can change in time depending on the
+world's state as news breaks, trends change, etc.  To identify this
+case, new features can be included to the space that can identify
+spikes or changes in news articles and/or query logs."
+
+This module provides the substrate and the features:
+
+* ``WorldEvent`` — a breaking-news event that multiplies a concept's
+  effective interestingness (and hence its query volume and CTR) for
+  one week;
+* ``generate_temporal_query_log`` — a sequence of weekly query logs
+  whose per-concept volumes follow the events;
+* ``TemporalQueryLog`` — weekly lookups plus the two trend features:
+  ``spike_ratio`` (this week vs the trailing baseline) and
+  ``momentum`` (week-over-week log change).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.corpus.concepts import Concept
+from repro.corpus.topics import Topic
+from repro.corpus.vocabulary import Vocabulary
+from repro.querylog.generator import generate_query_log
+from repro.querylog.log import Phrase, QueryLog
+
+
+@dataclass(frozen=True)
+class WorldEvent:
+    """One breaking-news event: a concept spikes in week *week*."""
+
+    week: int
+    concept_id: int
+    intensity: float  # multiplier on effective interestingness (> 1)
+
+
+def generate_world_events(
+    rng: np.random.Generator,
+    concepts: Sequence[Concept],
+    weeks: int,
+    events_per_week: float = 3.0,
+    min_intensity: float = 2.0,
+    max_intensity: float = 6.0,
+) -> List[WorldEvent]:
+    """Draw a random schedule of concept spikes."""
+    events: List[WorldEvent] = []
+    eligible = [c for c in concepts if not c.is_junk]
+    for week in range(weeks):
+        count = int(rng.poisson(events_per_week))
+        if count == 0 or not eligible:
+            continue
+        chosen = rng.choice(len(eligible), size=min(count, len(eligible)),
+                            replace=False)
+        for index in chosen:
+            events.append(
+                WorldEvent(
+                    week=week,
+                    concept_id=eligible[int(index)].concept_id,
+                    intensity=float(rng.uniform(min_intensity, max_intensity)),
+                )
+            )
+    return events
+
+
+def event_boosts(
+    events: Sequence[WorldEvent], week: int
+) -> Dict[int, float]:
+    """concept_id -> interestingness multiplier for *week*."""
+    boosts: Dict[int, float] = {}
+    for event in events:
+        if event.week == week:
+            boosts[event.concept_id] = max(
+                boosts.get(event.concept_id, 1.0), event.intensity
+            )
+    return boosts
+
+
+def boosted_concepts(
+    concepts: Sequence[Concept], boosts: Dict[int, float]
+) -> List[Concept]:
+    """Copies of *concepts* with event-boosted effective interestingness.
+
+    Used for both query-log generation and story generation in event
+    weeks: breaking news is searched for more *and* written about more.
+    """
+    result: List[Concept] = []
+    for concept in concepts:
+        boost = boosts.get(concept.concept_id)
+        if boost is None or boost == 1.0:
+            result.append(concept)
+            continue
+        result.append(
+            Concept(
+                concept_id=concept.concept_id,
+                phrase=concept.phrase,
+                terms=concept.terms,
+                interestingness=min(1.0, concept.interestingness * boost),
+                specificity=concept.specificity,
+                is_junk=concept.is_junk,
+                taxonomy_type=concept.taxonomy_type,
+                home_topics=concept.home_topics,
+            )
+        )
+    return result
+
+
+class TemporalQueryLog:
+    """A sequence of weekly aggregated query logs with trend features."""
+
+    def __init__(self, weekly_logs: Sequence[QueryLog]):
+        if not weekly_logs:
+            raise ValueError("need at least one weekly log")
+        self._weeks: List[QueryLog] = list(weekly_logs)
+
+    def __len__(self) -> int:
+        return len(self._weeks)
+
+    def week(self, index: int) -> QueryLog:
+        return self._weeks[index]
+
+    @property
+    def latest(self) -> QueryLog:
+        return self._weeks[-1]
+
+    def weekly_frequencies(self, terms: Phrase) -> List[int]:
+        """freq_phrase_contained per week, oldest first."""
+        return [log.freq_phrase_contained(terms) for log in self._weeks]
+
+    # -- trend features -------------------------------------------------------
+
+    def spike_ratio(self, terms: Phrase, week: int = -1,
+                    baseline_weeks: int = 4) -> float:
+        """This week's volume over the trailing baseline mean (>= 1 smooth).
+
+        A value near 1 means steady interest; >> 1 means a breaking
+        spike.  Add-one smoothing keeps cold concepts at ~1.
+        """
+        if week < 0:
+            week = len(self._weeks) + week
+        current = self._weeks[week].freq_phrase_contained(terms)
+        start = max(0, week - baseline_weeks)
+        history = [
+            log.freq_phrase_contained(terms) for log in self._weeks[start:week]
+        ]
+        baseline = (sum(history) / len(history)) if history else 0.0
+        return (current + 1.0) / (baseline + 1.0)
+
+    def momentum(self, terms: Phrase, week: int = -1) -> float:
+        """Log week-over-week change: log((this+1)/(previous+1))."""
+        if week < 0:
+            week = len(self._weeks) + week
+        current = self._weeks[week].freq_phrase_contained(terms)
+        previous = (
+            self._weeks[week - 1].freq_phrase_contained(terms) if week > 0 else 0
+        )
+        return math.log((current + 1.0) / (previous + 1.0))
+
+
+def generate_temporal_query_log(
+    rng: np.random.Generator,
+    concepts: Sequence[Concept],
+    topics: Sequence[Topic],
+    vocabulary: Vocabulary,
+    weeks: int,
+    events: Sequence[WorldEvent] = (),
+    **generator_kwargs,
+) -> TemporalQueryLog:
+    """Generate *weeks* weekly logs; event weeks spike the affected
+    concepts' query volume via a boosted effective interestingness."""
+    weekly: List[QueryLog] = []
+    for week in range(weeks):
+        effective = boosted_concepts(concepts, event_boosts(events, week))
+        weekly.append(
+            generate_query_log(rng, effective, topics, vocabulary,
+                               **generator_kwargs)
+        )
+    return TemporalQueryLog(weekly)

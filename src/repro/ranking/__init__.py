@@ -1,0 +1,36 @@
+"""Learning-to-rank: pairwise RankSVM, baselines, and the combined model."""
+
+from repro.ranking.baselines import (
+    concept_vector_scores,
+    jitter_ties,
+    random_scores,
+    tie_break_by_relevance,
+)
+from repro.ranking.model import ConceptRanker, FeatureAssembler
+from repro.ranking.pairs import PairSet, build_pairs
+from repro.ranking.svmlight import dump_ranking_file, load_ranking_file
+from repro.ranking.ranksvm import (
+    KERNEL_LINEAR,
+    KERNEL_RBF,
+    RandomFourierFeatures,
+    RankSVM,
+    StandardScaler,
+)
+
+__all__ = [
+    "concept_vector_scores",
+    "jitter_ties",
+    "random_scores",
+    "tie_break_by_relevance",
+    "ConceptRanker",
+    "FeatureAssembler",
+    "PairSet",
+    "build_pairs",
+    "dump_ranking_file",
+    "load_ranking_file",
+    "KERNEL_LINEAR",
+    "KERNEL_RBF",
+    "RandomFourierFeatures",
+    "RankSVM",
+    "StandardScaler",
+]

@@ -1,0 +1,55 @@
+"""Baseline rankers (paper Section V-A.3).
+
+Two baselines frame every evaluation table: a random ordering (error
+rate 50% by construction) and the production concept-vector-score
+ordering.  Both are expressed as score assignments so they slot into
+the same evaluation path as the learned model; ties are broken randomly
+as the paper specifies ("in the case of ties, we assume a random
+ordering of concepts").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def random_scores(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Scores inducing a uniformly random ordering."""
+    return rng.random(count)
+
+
+def jitter_ties(
+    scores: Sequence[float], rng: np.random.Generator, scale: float = 1e-9
+) -> np.ndarray:
+    """Break exact score ties with infinitesimal random jitter."""
+    scores = np.asarray(scores, dtype=float)
+    return scores + rng.random(scores.shape[0]) * scale
+
+
+def concept_vector_scores(
+    baseline_scores: Sequence[float], rng: np.random.Generator
+) -> np.ndarray:
+    """The production baseline: concept-vector scores, random tie-break."""
+    return jitter_ties(baseline_scores, rng)
+
+
+def tie_break_by_relevance(
+    scores: Sequence[float],
+    relevance: Sequence[float],
+    epsilon: float = 1e-9,
+) -> np.ndarray:
+    """Favor higher relevance among (near-)tied primary scores.
+
+    Implements the paper's Section V-A.6 choice: "in case of ties, we
+    decided to favor concepts that have higher relevance scores".  The
+    relevance contribution is scaled far below one score quantum so it
+    only reorders ties.
+    """
+    scores = np.asarray(scores, dtype=float)
+    relevance = np.asarray(relevance, dtype=float)
+    peak = np.abs(relevance).max()
+    if peak <= 0:
+        return scores
+    return scores + (relevance / peak) * epsilon

@@ -1,0 +1,123 @@
+"""The combined ranking model: features -> RankSVM -> ordered concepts.
+
+This is the object the paper deploys: interestingness features plus the
+snippet-based relevance score feed a trained ranking SVM; at runtime a
+document's candidate concepts are ranked in decreasing order of
+predicted interestingness-and-relevance, with relevance used as the
+tie-breaker (Section V-A.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.detection.pipeline import AnnotatedDocument
+from repro.detection.base import Detection
+from repro.features.interestingness import InterestingnessExtractor
+from repro.features.relevance import RelevanceScorer
+from repro.ranking.baselines import tie_break_by_relevance
+from repro.ranking.ranksvm import RankSVM
+
+
+@dataclass
+class FeatureAssembler:
+    """Builds model feature matrices for (phrase, context) instances.
+
+    *extractor* supplies Table I interestingness vectors (typically via
+    a precomputed store); *relevance_scorer* supplies the contextual
+    relevance feature and may be None for an interestingness-only model.
+    *exclude_groups* removes feature groups for the Table III ablations.
+    """
+
+    extractor: InterestingnessExtractor
+    relevance_scorer: Optional[RelevanceScorer] = None
+    exclude_groups: Tuple[str, ...] = ()
+
+    def vector(self, phrase: str, context: Optional[Set[str]] = None) -> np.ndarray:
+        """The feature vector for *phrase* in *context*."""
+        base = self.extractor.extract(phrase).numeric(self.exclude_groups)
+        if self.relevance_scorer is None:
+            return base
+        if context is None:
+            raise ValueError("relevance-enabled assembler requires a context")
+        relevance = self.relevance_scorer.score(phrase, context)
+        return np.concatenate([base, [np.log1p(relevance)]])
+
+    def matrix(
+        self, phrases: Sequence[str], context: Optional[Set[str]] = None
+    ) -> np.ndarray:
+        """Feature matrix for many phrases sharing one context."""
+        return np.vstack([self.vector(phrase, context) for phrase in phrases])
+
+    def context_of(self, text: str) -> Optional[Set[str]]:
+        """Stemmed context set, or None for interestingness-only models."""
+        if self.relevance_scorer is None:
+            return None
+        return self.relevance_scorer.context_stems(text)
+
+    def relevance_of(
+        self, phrases: Sequence[str], context: Optional[Set[str]]
+    ) -> np.ndarray:
+        """Raw relevance scores (zeros when no relevance scorer)."""
+        if self.relevance_scorer is None or context is None:
+            return np.zeros(len(phrases))
+        return np.asarray(
+            [self.relevance_scorer.score(phrase, context) for phrase in phrases]
+        )
+
+
+class ConceptRanker:
+    """Ranks a document's candidate concepts with a trained RankSVM."""
+
+    def __init__(
+        self,
+        assembler: FeatureAssembler,
+        model: RankSVM,
+        tie_break_with_relevance: bool = True,
+    ):
+        self._assembler = assembler
+        self._model = model
+        self.tie_break_with_relevance = tie_break_with_relevance
+
+    def score_phrases(self, phrases: Sequence[str], text: str) -> np.ndarray:
+        """Model scores for candidate *phrases* of document *text*."""
+        if not phrases:
+            return np.zeros(0)
+        context = self._assembler.context_of(text)
+        features = self._assembler.matrix(phrases, context)
+        scores = self._model.decision_function(features)
+        if self.tie_break_with_relevance:
+            relevance = self._assembler.relevance_of(phrases, context)
+            scores = tie_break_by_relevance(scores, relevance)
+        return scores
+
+    def rank_phrases(
+        self, phrases: Sequence[str], text: str
+    ) -> List[Tuple[str, float]]:
+        """(phrase, score) in decreasing score order."""
+        scores = self.score_phrases(phrases, text)
+        order = np.argsort(-scores, kind="stable")
+        return [(phrases[int(i)], float(scores[int(i)])) for i in order]
+
+    def rank_document(self, annotated: AnnotatedDocument) -> List[Detection]:
+        """Rankable detections of *annotated*, best first.
+
+        This is what replaces the concept-vector ordering in production:
+        an application keeps the top N of this list.
+        """
+        rankable = annotated.rankable()
+        if not rankable:
+            return []
+        phrases = [d.phrase for d in rankable]
+        scores = self.score_phrases(phrases, annotated.text)
+        order = np.argsort(-scores, kind="stable")
+        return [rankable[int(i)].with_score(float(scores[int(i)])) for i in order]
+
+    def top_detections(
+        self, annotated: AnnotatedDocument, count: int
+    ) -> List[Detection]:
+        """The top *count* detections (the production annotation budget)."""
+        return self.rank_document(annotated)[:count]

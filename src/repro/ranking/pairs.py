@@ -1,0 +1,83 @@
+"""Pairwise preference construction for ranking SVMs.
+
+"We use an implementation of ranking SVM to learn a ranking function
+between pairs of instances.  In our case, each instance consists of the
+entity/concept along with its associated features, and the label of
+each instance is its CTR value" (Section III).  Preference pairs are
+formed *within* a document window: entity A is preferred over entity B
+when CTR(A) > CTR(B) by at least a configurable gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PairSet:
+    """Difference vectors and preference weights for training."""
+
+    differences: np.ndarray  # shape (n_pairs, n_features); preferred - other
+    weights: np.ndarray  # per-pair importance (CTR differences)
+
+    @property
+    def count(self) -> int:
+        return int(self.differences.shape[0])
+
+
+def build_pairs(
+    features: np.ndarray,
+    labels: Sequence[float],
+    groups: Sequence[int],
+    min_label_gap: float = 0.0,
+    max_pairs_per_group: int = 200,
+    rng: np.random.Generator = None,
+) -> PairSet:
+    """Build within-group preference pairs.
+
+    For every group, every ordered pair (i, j) with
+    ``labels[i] > labels[j] + min_label_gap`` yields the difference
+    vector ``features[i] - features[j]`` with weight
+    ``labels[i] - labels[j]``.  Groups with excessive pair counts are
+    subsampled to *max_pairs_per_group* (deterministically when *rng*
+    is None).
+    """
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    groups = np.asarray(groups)
+    if features.shape[0] != labels.shape[0] or labels.shape[0] != groups.shape[0]:
+        raise ValueError("features, labels, groups must align")
+
+    differences: List[np.ndarray] = []
+    weights: List[float] = []
+    for group in np.unique(groups):
+        indices = np.flatnonzero(groups == group)
+        pairs: List[Tuple[int, int]] = []
+        for a_pos, a in enumerate(indices):
+            for b in indices[a_pos + 1 :]:
+                if labels[a] > labels[b] + min_label_gap:
+                    pairs.append((a, b))
+                elif labels[b] > labels[a] + min_label_gap:
+                    pairs.append((b, a))
+        if len(pairs) > max_pairs_per_group:
+            if rng is None:
+                step = len(pairs) / max_pairs_per_group
+                pairs = [pairs[int(i * step)] for i in range(max_pairs_per_group)]
+            else:
+                chosen = rng.choice(len(pairs), size=max_pairs_per_group, replace=False)
+                pairs = [pairs[int(i)] for i in chosen]
+        for preferred, other in pairs:
+            differences.append(features[preferred] - features[other])
+            weights.append(labels[preferred] - labels[other])
+
+    if not differences:
+        n_features = features.shape[1] if features.ndim == 2 else 0
+        return PairSet(
+            differences=np.zeros((0, n_features)), weights=np.zeros(0)
+        )
+    return PairSet(
+        differences=np.vstack(differences), weights=np.asarray(weights, dtype=float)
+    )

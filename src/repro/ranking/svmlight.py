@@ -1,0 +1,104 @@
+"""SVMlight ranking file format (Joachims' ranking SVM input).
+
+The paper trains with "an open source library for ranking SVM ...
+available in SVMlight" [9].  This module writes and reads that format
+so datasets built here can be trained with external SVM tooling (and
+externally-prepared data can be evaluated here):
+
+    <label> qid:<group> <index>:<value> ... # optional comment
+
+Feature indices are 1-based and must be ascending; zero values are
+omitted, as SVMlight expects.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def dump_ranking_file(
+    path: PathLike,
+    features: np.ndarray,
+    labels: Sequence[float],
+    groups: Sequence[int],
+    comments: Optional[Sequence[str]] = None,
+) -> None:
+    """Write instances in SVMlight ranking format, grouped by qid.
+
+    Rows are emitted sorted by group so qid blocks are contiguous, which
+    svm_rank requires.
+    """
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    groups = np.asarray(groups)
+    if not (len(features) == len(labels) == len(groups)):
+        raise ValueError("features, labels, groups must align")
+    if comments is not None and len(comments) != len(labels):
+        raise ValueError("comments must align with instances")
+    order = np.argsort(groups, kind="stable")
+    with open(path, "w") as handle:
+        for row in order:
+            parts = [f"{labels[row]:.6g}", f"qid:{int(groups[row])}"]
+            for index, value in enumerate(features[row], start=1):
+                if value != 0.0:
+                    parts.append(f"{index}:{value:.6g}")
+            line = " ".join(parts)
+            if comments is not None:
+                line += f" # {comments[row]}"
+            handle.write(line + "\n")
+
+
+def load_ranking_file(
+    path: PathLike,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Optional[str]]]:
+    """Read an SVMlight ranking file.
+
+    Returns (features, labels, groups, comments); the feature matrix is
+    dense with width equal to the maximum feature index seen.
+    """
+    labels: List[float] = []
+    groups: List[int] = []
+    rows: List[List[Tuple[int, float]]] = []
+    comments: List[Optional[str]] = []
+    max_index = 0
+    with open(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            comment: Optional[str] = None
+            if "#" in line:
+                line, comment = line.split("#", 1)
+                comment = comment.strip()
+                line = line.strip()
+            parts = line.split()
+            if len(parts) < 2 or not parts[1].startswith("qid:"):
+                raise ValueError(
+                    f"{path}:{line_number}: expected '<label> qid:<id> ...'"
+                )
+            labels.append(float(parts[0]))
+            groups.append(int(parts[1][4:]))
+            row: List[Tuple[int, float]] = []
+            previous_index = 0
+            for token in parts[2:]:
+                index_text, value_text = token.split(":", 1)
+                index = int(index_text)
+                if index <= previous_index:
+                    raise ValueError(
+                        f"{path}:{line_number}: feature indices must ascend"
+                    )
+                previous_index = index
+                row.append((index, float(value_text)))
+                max_index = max(max_index, index)
+            rows.append(row)
+            comments.append(comment)
+    features = np.zeros((len(rows), max_index))
+    for row_id, row in enumerate(rows):
+        for index, value in row:
+            features[row_id, index - 1] = value
+    return features, np.asarray(labels), np.asarray(groups), comments

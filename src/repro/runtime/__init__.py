@@ -1,0 +1,56 @@
+"""Production framework (Section VI): stores, TID tables, Golomb, service."""
+
+from repro.runtime.compressed import CompressedRelevanceStore
+from repro.runtime.datapack import (
+    load_interestingness_store,
+    load_ranker,
+    load_relevance_store,
+    read_pack,
+    save_interestingness_store,
+    save_ranker,
+    save_relevance_store,
+    write_pack,
+)
+from repro.runtime.framework import RankerService, TimingStats
+from repro.runtime.golomb import (
+    BitReader,
+    BitWriter,
+    golomb_decode,
+    golomb_encode,
+    optimal_parameter,
+)
+from repro.runtime.store import QuantizedInterestingnessStore
+from repro.runtime.tid import (
+    MAX_SCORE_CODE,
+    MAX_TID,
+    GlobalTidTable,
+    PackedRelevanceStore,
+    pack_pair,
+    unpack_pair,
+)
+
+__all__ = [
+    "CompressedRelevanceStore",
+    "load_interestingness_store",
+    "load_ranker",
+    "load_relevance_store",
+    "read_pack",
+    "save_interestingness_store",
+    "save_ranker",
+    "save_relevance_store",
+    "write_pack",
+    "RankerService",
+    "TimingStats",
+    "BitReader",
+    "BitWriter",
+    "golomb_decode",
+    "golomb_encode",
+    "optimal_parameter",
+    "QuantizedInterestingnessStore",
+    "MAX_SCORE_CODE",
+    "MAX_TID",
+    "GlobalTidTable",
+    "PackedRelevanceStore",
+    "pack_pair",
+    "unpack_pair",
+]

@@ -1,0 +1,229 @@
+"""Binary data-packs: persistence for the production stores and model.
+
+The paper's detectors use "data-packs that are pre-loaded into memory to
+allow for high-performance entity detection".  This module provides the
+serialization layer those packs imply: a compact sectioned binary
+container plus save/load functions for the quantized interestingness
+store, the packed relevance store (with its Global TID table), and a
+trained :class:`~repro.ranking.ranksvm.RankSVM`.
+
+Format: ``RPAK`` magic, u16 version, u32 section count, then per
+section a length-prefixed UTF-8 name and a u64-length payload.  All
+integers little-endian.  No pickle — packs are safe to load from
+untrusted storage.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.ranking.ranksvm import (
+    RandomFourierFeatures,
+    RankSVM,
+    StandardScaler,
+)
+from repro.runtime.store import FIELD_COUNT, QuantizedInterestingnessStore
+from repro.runtime.tid import GlobalTidTable, PackedRelevanceStore
+
+_MAGIC = b"RPAK"
+_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# -- container ----------------------------------------------------------------
+
+
+def write_pack(path: PathLike, sections: Dict[str, bytes]) -> None:
+    """Write a sectioned binary pack to *path*."""
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HI", _VERSION, len(sections)))
+        for name, payload in sections.items():
+            encoded = name.encode("utf-8")
+            handle.write(struct.pack("<H", len(encoded)))
+            handle.write(encoded)
+            handle.write(struct.pack("<Q", len(payload)))
+            handle.write(payload)
+
+
+def read_pack(path: PathLike) -> Dict[str, bytes]:
+    """Read a pack written by :func:`write_pack`."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise ValueError(f"not a data-pack: bad magic {magic!r}")
+        version, count = struct.unpack("<HI", handle.read(6))
+        if version != _VERSION:
+            raise ValueError(f"unsupported data-pack version {version}")
+        sections: Dict[str, bytes] = {}
+        for __ in range(count):
+            (name_len,) = struct.unpack("<H", handle.read(2))
+            name = handle.read(name_len).decode("utf-8")
+            (payload_len,) = struct.unpack("<Q", handle.read(8))
+            payload = handle.read(payload_len)
+            if len(payload) != payload_len:
+                raise ValueError("truncated data-pack")
+            sections[name] = payload
+        return sections
+
+
+def _json_bytes(value) -> bytes:
+    return json.dumps(value).encode("utf-8")
+
+
+def _json_load(payload: bytes):
+    return json.loads(payload.decode("utf-8"))
+
+
+# -- interestingness store ------------------------------------------------------
+
+
+def save_interestingness_store(
+    store: QuantizedInterestingnessStore, path: PathLike
+) -> None:
+    """Persist a quantized interestingness store."""
+    phrases = store.phrases()
+    rows = np.vstack([store._rows[p] for p in phrases]) if phrases else np.zeros(
+        (0, FIELD_COUNT), dtype=np.uint16
+    )
+    write_pack(
+        path,
+        {
+            "kind": b"interestingness",
+            "meta": _json_bytes(
+                {"field_max": store._field_max, "phrases": phrases}
+            ),
+            "rows": rows.astype("<u2").tobytes(),
+        },
+    )
+
+
+def load_interestingness_store(path: PathLike) -> QuantizedInterestingnessStore:
+    sections = read_pack(path)
+    if sections.get("kind") != b"interestingness":
+        raise ValueError("pack does not contain an interestingness store")
+    meta = _json_load(sections["meta"])
+    store = QuantizedInterestingnessStore(meta["field_max"])
+    rows = np.frombuffer(sections["rows"], dtype="<u2").reshape(
+        (-1, FIELD_COUNT)
+    )
+    for phrase, row in zip(meta["phrases"], rows):
+        store._rows[phrase] = row.astype(np.uint16)
+    return store
+
+
+# -- relevance store ------------------------------------------------------------
+
+
+def save_relevance_store(store: PackedRelevanceStore, path: PathLike) -> None:
+    """Persist a packed relevance store with its Global TID table."""
+    tid_table = store.tid_table
+    terms = [None] * len(tid_table)
+    for term, tid in tid_table._tids.items():
+        terms[tid] = term
+    index = []
+    blobs = []
+    offset = 0
+    for phrase in sorted(store._packed):
+        packed = store._packed[phrase]
+        index.append({"phrase": phrase, "offset": offset, "count": int(packed.size)})
+        blobs.append(packed.astype("<u4").tobytes())
+        offset += int(packed.size)
+    write_pack(
+        path,
+        {
+            "kind": b"relevance",
+            "meta": _json_bytes(
+                {"score_max": store.score_max, "terms": terms, "index": index}
+            ),
+            "pairs": b"".join(blobs),
+        },
+    )
+
+
+def load_relevance_store(path: PathLike) -> PackedRelevanceStore:
+    sections = read_pack(path)
+    if sections.get("kind") != b"relevance":
+        raise ValueError("pack does not contain a relevance store")
+    meta = _json_load(sections["meta"])
+    tid_table = GlobalTidTable()
+    for term in meta["terms"]:
+        tid_table.assign(term)
+    store = PackedRelevanceStore(tid_table, score_max=meta["score_max"])
+    pairs = np.frombuffer(sections["pairs"], dtype="<u4")
+    for entry in meta["index"]:
+        start = entry["offset"]
+        stop = start + entry["count"]
+        store._packed[entry["phrase"]] = pairs[start:stop].astype(np.uint32)
+    return store
+
+
+# -- trained ranking model --------------------------------------------------------
+
+
+def save_ranker(model: RankSVM, path: PathLike) -> None:
+    """Persist a fitted RankSVM (weights, scaler, feature map, config)."""
+    if model.weights_ is None:
+        raise ValueError("cannot save an unfitted model")
+    config = {
+        "c": model.c,
+        "epochs": model.epochs,
+        "kernel": model.kernel,
+        "gamma": model.gamma,
+        "n_components": model.n_components,
+        "min_label_gap": model.min_label_gap,
+        "max_pairs_per_group": model.max_pairs_per_group,
+        "weight_pairs_by_label_gap": model.weight_pairs_by_label_gap,
+        "seed": model.seed,
+    }
+    sections: Dict[str, bytes] = {
+        "kind": b"ranksvm",
+        "meta": _json_bytes(config),
+        "weights": model.weights_.astype("<f8").tobytes(),
+        "scaler_mean": model._scaler.mean_.astype("<f8").tobytes(),
+        "scaler_scale": model._scaler.scale_.astype("<f8").tobytes(),
+    }
+    if model._feature_map is not None:
+        sections["rff_weights"] = model._feature_map._weights.astype(
+            "<f8"
+        ).tobytes()
+        sections["rff_offsets"] = model._feature_map._offsets.astype(
+            "<f8"
+        ).tobytes()
+    write_pack(path, sections)
+
+
+def load_ranker(path: PathLike) -> RankSVM:
+    sections = read_pack(path)
+    if sections.get("kind") != b"ranksvm":
+        raise ValueError("pack does not contain a RankSVM model")
+    config = _json_load(sections["meta"])
+    model = RankSVM(**config)
+    model.weights_ = np.frombuffer(sections["weights"], dtype="<f8").copy()
+    scaler = StandardScaler()
+    scaler.mean_ = np.frombuffer(sections["scaler_mean"], dtype="<f8").copy()
+    scaler.scale_ = np.frombuffer(sections["scaler_scale"], dtype="<f8").copy()
+    model._scaler = scaler
+    if "rff_weights" in sections:
+        feature_map = RandomFourierFeatures(
+            gamma=config["gamma"],
+            n_components=config["n_components"],
+            seed=config["seed"],
+        )
+        n_features = scaler.mean_.shape[0]
+        feature_map._weights = (
+            np.frombuffer(sections["rff_weights"], dtype="<f8")
+            .reshape((n_features, config["n_components"]))
+            .copy()
+        )
+        feature_map._offsets = np.frombuffer(
+            sections["rff_offsets"], dtype="<f8"
+        ).copy()
+        model._feature_map = feature_map
+    return model

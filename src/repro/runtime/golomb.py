@@ -1,0 +1,144 @@
+"""Golomb coding for compressed term-id lists (paper Section VI).
+
+The paper notes the 400 MB relevance store "can be even further reduced
+through ... integer compression techniques, such as Golomb Coding".
+Sorted TID lists are delta-encoded and each gap is Golomb-coded with
+parameter M: quotient in unary, remainder in truncated binary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class BitWriter:
+    """Append-only bit buffer."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._bit_count = 0
+
+    def write_bit(self, bit: int) -> None:
+        index = self._bit_count >> 3
+        if index == len(self._bytes):
+            self._bytes.append(0)
+        if bit:
+            self._bytes[index] |= 0x80 >> (self._bit_count & 7)
+        self._bit_count += 1
+
+    def write_unary(self, value: int) -> None:
+        for __ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def write_bits(self, value: int, width: int) -> None:
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._bytes)
+
+    @property
+    def bit_length(self) -> int:
+        return self._bit_count
+
+
+class BitReader:
+    """Sequential bit reader over bytes."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0
+
+    def read_bit(self) -> int:
+        index = self._position >> 3
+        if index >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        bit = (self._data[index] >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for __ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+
+def _golomb_write(writer: BitWriter, value: int, m: int) -> None:
+    quotient, remainder = divmod(value, m)
+    writer.write_unary(quotient)
+    # truncated binary for the remainder
+    width = max(1, math.ceil(math.log2(m))) if m > 1 else 0
+    if m == 1:
+        return
+    cutoff = (1 << width) - m
+    if remainder < cutoff:
+        writer.write_bits(remainder, width - 1)
+    else:
+        writer.write_bits(remainder + cutoff, width)
+
+
+def _golomb_read(reader: BitReader, m: int) -> int:
+    quotient = reader.read_unary()
+    if m == 1:
+        return quotient
+    width = max(1, math.ceil(math.log2(m)))
+    cutoff = (1 << width) - m
+    remainder = reader.read_bits(width - 1) if width > 1 else 0
+    if remainder >= cutoff:
+        remainder = (remainder << 1) | reader.read_bit()
+        remainder -= cutoff
+    return quotient * m + remainder
+
+
+def optimal_parameter(sorted_values: Sequence[int]) -> int:
+    """The classic M ~ 0.69 * mean(gap) rule of thumb."""
+    if not sorted_values:
+        return 1
+    span = sorted_values[-1] + 1
+    mean_gap = span / len(sorted_values)
+    return max(1, int(round(0.69 * mean_gap)))
+
+
+def golomb_encode(sorted_values: Sequence[int], m: int = None) -> Tuple[bytes, int]:
+    """Encode a strictly increasing integer sequence.
+
+    Returns (payload, m).  Values are delta-encoded (first value is its
+    own gap from -1 minus one, so zero gaps never occur).
+    """
+    values = list(sorted_values)
+    for left, right in zip(values, values[1:]):
+        if right <= left:
+            raise ValueError("values must be strictly increasing")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    if m is None:
+        m = optimal_parameter(values)
+    if m < 1:
+        raise ValueError("parameter m must be >= 1")
+    writer = BitWriter()
+    previous = -1
+    for value in values:
+        _golomb_write(writer, value - previous - 1, m)
+        previous = value
+    return writer.getvalue(), m
+
+
+def golomb_decode(payload: bytes, count: int, m: int) -> List[int]:
+    """Decode *count* values encoded by :func:`golomb_encode`."""
+    reader = BitReader(payload)
+    values: List[int] = []
+    previous = -1
+    for __ in range(count):
+        gap = _golomb_read(reader, m)
+        previous = previous + gap + 1
+        values.append(previous)
+    return values

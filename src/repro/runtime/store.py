@@ -1,0 +1,118 @@
+"""Quantized interestingness store (Section VI).
+
+"For each concept we have in the system, we first compute the values
+for these features in the offline process, and employ a normalization
+that would fit each field to two bytes (this causes a minor decrease in
+granularity).  So the interestingness vectors for 1 million concepts
+would cost 18MB in memory."
+
+The store keeps one ``uint16`` row of 9 fields per concept and exposes
+``extract(phrase)``, making it a drop-in for the live
+:class:`~repro.features.interestingness.InterestingnessExtractor` in
+the runtime ranker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.corpus.concepts import TAXONOMY_TYPES
+from repro.features.interestingness import (
+    InterestingnessExtractor,
+    InterestingnessVector,
+)
+from repro.features.quantize import dequantize, quantize
+
+FIELD_BITS = 16
+_NUMERIC_FIELDS = (
+    "freq_exact",
+    "freq_phrase_contained",
+    "unit_score",
+    "searchengine_phrase",
+    "concept_size",
+    "number_of_chars",
+    "subconcepts",
+    "wiki_word_count",
+)
+_TYPE_FIELD = len(_NUMERIC_FIELDS)  # taxonomy type stored as an index
+FIELD_COUNT = len(_NUMERIC_FIELDS) + 1
+
+
+class QuantizedInterestingnessStore:
+    """Phrase -> 9 x uint16 interestingness fields."""
+
+    def __init__(self, field_max: Sequence[float]):
+        if len(field_max) != len(_NUMERIC_FIELDS):
+            raise ValueError("one max per numeric field required")
+        self._field_max = [max(float(m), 1e-12) for m in field_max]
+        self._rows: Dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, phrase: str) -> bool:
+        return phrase.lower() in self._rows
+
+    def add(self, vector: InterestingnessVector) -> None:
+        """Quantize and store one concept's feature vector."""
+        row = np.zeros(FIELD_COUNT, dtype=np.uint16)
+        for index, name in enumerate(_NUMERIC_FIELDS):
+            row[index] = quantize(
+                float(vector.value(name)), self._field_max[index], FIELD_BITS
+            )
+        if vector.high_level_type is None:
+            row[_TYPE_FIELD] = 0
+        else:
+            row[_TYPE_FIELD] = 1 + TAXONOMY_TYPES.index(vector.high_level_type)
+        self._rows[vector.phrase] = row
+
+    def extract(self, phrase: str) -> InterestingnessVector:
+        """Dequantized feature vector (the live-extractor protocol)."""
+        row = self._rows.get(phrase.lower())
+        if row is None:
+            raise KeyError(f"unknown concept: {phrase!r}")
+        values = {
+            name: dequantize(int(row[index]), self._field_max[index], FIELD_BITS)
+            for index, name in enumerate(_NUMERIC_FIELDS)
+        }
+        type_index = int(row[_TYPE_FIELD])
+        return InterestingnessVector(
+            phrase=phrase.lower(),
+            freq_exact=int(round(values["freq_exact"])),
+            freq_phrase_contained=int(round(values["freq_phrase_contained"])),
+            unit_score=values["unit_score"],
+            searchengine_phrase=int(round(values["searchengine_phrase"])),
+            concept_size=int(round(values["concept_size"])),
+            number_of_chars=int(round(values["number_of_chars"])),
+            subconcepts=int(round(values["subconcepts"])),
+            high_level_type=(
+                None if type_index == 0 else TAXONOMY_TYPES[type_index - 1]
+            ),
+            wiki_word_count=int(round(values["wiki_word_count"])),
+        )
+
+    def phrases(self) -> List[str]:
+        return list(self._rows)
+
+    def memory_bytes(self) -> int:
+        """2 bytes per field per concept (the paper's 18 MB / 1M figure)."""
+        return len(self._rows) * FIELD_COUNT * 2
+
+    @classmethod
+    def build(
+        cls,
+        extractor: InterestingnessExtractor,
+        phrases: Sequence[str],
+    ) -> "QuantizedInterestingnessStore":
+        """Offline precompute + quantization for an inventory of phrases."""
+        vectors = [extractor.extract(phrase) for phrase in phrases]
+        field_max = [
+            max((float(v.value(name)) for v in vectors), default=1.0) or 1.0
+            for name in _NUMERIC_FIELDS
+        ]
+        store = cls(field_max)
+        for vector in vectors:
+            store.add(vector)
+        return store

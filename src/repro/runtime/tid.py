@@ -1,0 +1,169 @@
+"""The Global TID table and the packed relevance store (Section VI).
+
+"In the implementation, the relevant keywords are represented by unique
+term ids (perfect hashes). ... the system uses a global hash table
+(Global TID Table) which simply maps a given term to its TID. ... the
+largest TID value we need to support in the system is not too large and
+can easily fit into 22 bits.  We normalize the scores of the relevant
+terms to be in the range of 0 and 1023, so that they can fit in 10
+bits.  So for each concept, we need 400 bytes to store its top 100
+(TID, score) pairs, since each pair can be stored in 32 bits."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.features.quantize import dequantize, quantize
+from repro.features.relevance import RelevanceModel, stemmed_terms
+from repro.runtime.golomb import golomb_encode
+
+TID_BITS = 22
+SCORE_BITS = 10
+MAX_TID = (1 << TID_BITS) - 1
+MAX_SCORE_CODE = (1 << SCORE_BITS) - 1
+
+
+class GlobalTidTable:
+    """Stemmed term -> dense term id (a perfect-hash substitute)."""
+
+    def __init__(self):
+        self._tids: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._tids)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._tids
+
+    def assign(self, term: str) -> int:
+        """The TID of *term*, assigning a new one if unseen."""
+        tid = self._tids.get(term)
+        if tid is None:
+            tid = len(self._tids)
+            if tid > MAX_TID:
+                raise OverflowError("TID space (22 bits) exhausted")
+            self._tids[term] = tid
+        return tid
+
+    def lookup(self, term: str) -> Optional[int]:
+        """The TID of *term*, or None if the term is used by no concept."""
+        return self._tids.get(term)
+
+    def tids_of(self, terms: Iterable[str]) -> Set[int]:
+        """TID set of a document's terms (unknown terms dropped)."""
+        found = set()
+        for term in terms:
+            tid = self._tids.get(term)
+            if tid is not None:
+                found.add(tid)
+        return found
+
+
+def pack_pair(tid: int, score_code: int) -> int:
+    """Pack (22-bit TID, 10-bit score) into one 32-bit integer."""
+    if not 0 <= tid <= MAX_TID:
+        raise ValueError("tid out of 22-bit range")
+    if not 0 <= score_code <= MAX_SCORE_CODE:
+        raise ValueError("score code out of 10-bit range")
+    return (tid << SCORE_BITS) | score_code
+
+
+def unpack_pair(packed: int) -> tuple:
+    """Inverse of :func:`pack_pair`."""
+    return packed >> SCORE_BITS, packed & MAX_SCORE_CODE
+
+
+class PackedRelevanceStore:
+    """Concept -> packed (TID, score) pairs; the runtime relevance scorer.
+
+    Drop-in for :class:`repro.features.relevance.RelevanceScorer`: it
+    exposes ``context_stems`` (returning a TID set) and ``score``.
+    """
+
+    def __init__(self, tid_table: GlobalTidTable, score_max: float):
+        self._tids = tid_table
+        self.score_max = float(score_max)
+        self._packed: Dict[str, np.ndarray] = {}
+
+    @property
+    def tid_table(self) -> GlobalTidTable:
+        return self._tids
+
+    def __len__(self) -> int:
+        return len(self._packed)
+
+    def __contains__(self, phrase: str) -> bool:
+        return phrase.lower() in self._packed
+
+    def add(self, phrase: str, relevant_terms) -> None:
+        """Pack one concept's relevant terms."""
+        pairs: List[int] = []
+        for term, score in relevant_terms:
+            tid = self._tids.assign(term)
+            code = quantize(score, self.score_max, SCORE_BITS)
+            pairs.append(pack_pair(tid, code))
+        self._packed[phrase.lower()] = np.asarray(sorted(pairs), dtype=np.uint32)
+
+    def packed(self, phrase: str) -> np.ndarray:
+        return self._packed.get(phrase.lower(), np.zeros(0, dtype=np.uint32))
+
+    # -- RelevanceScorer protocol ------------------------------------------
+
+    def context_stems(self, text: str) -> Set[int]:
+        """The TID set of a document (stemmed, stopword-free)."""
+        return self._tids.tids_of(stemmed_terms(text))
+
+    def score(self, phrase: str, context: Set[int]) -> float:
+        """Summed dequantized scores of the concept's TIDs in context."""
+        packed = self._packed.get(phrase.lower())
+        if packed is None or not context:
+            return 0.0
+        total = 0.0
+        for value in packed:
+            tid, code = unpack_pair(int(value))
+            if tid in context:
+                total += dequantize(code, self.score_max, SCORE_BITS)
+        return total
+
+    def score_text(self, phrase: str, text: str) -> float:
+        return self.score(phrase, self.context_stems(text))
+
+    # -- storage accounting ------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Bytes of packed pair storage (4 bytes per pair, as the paper)."""
+        return sum(array.size * 4 for array in self._packed.values())
+
+    def compressed_bytes(self) -> int:
+        """Bytes if every concept's TID list were Golomb-coded.
+
+        Scores stay at 10 bits each; TIDs are delta+Golomb coded.  This
+        quantifies the paper's suggested optimization.
+        """
+        total_bits = 0
+        for array in self._packed.values():
+            tids = sorted({unpack_pair(int(v))[0] for v in array})
+            if tids:
+                payload, __ = golomb_encode(tids)
+                total_bits += len(payload) * 8
+            total_bits += array.size * SCORE_BITS
+        return (total_bits + 7) // 8
+
+    @classmethod
+    def build(
+        cls, model: RelevanceModel, tid_table: Optional[GlobalTidTable] = None
+    ) -> "PackedRelevanceStore":
+        """Build the store from an offline relevance model."""
+        peak = 0.0
+        for phrase in model.phrases():
+            for __, score in model.relevant_terms(phrase):
+                peak = max(peak, score)
+        if tid_table is None:
+            tid_table = GlobalTidTable()
+        store = cls(tid_table, score_max=peak or 1.0)
+        for phrase in model.phrases():
+            store.add(phrase, model.relevant_terms(phrase))
+        return store

@@ -1,0 +1,17 @@
+"""Search-engine substrate: index, engine, snippets, Prisma, suggestions."""
+
+from repro.search.engine import SearchEngine, SearchResult
+from repro.search.index import InvertedIndex
+from repro.search.prisma import PrismaTool
+from repro.search.snippets import SnippetService, make_snippet
+from repro.search.suggestions import SuggestionService
+
+__all__ = [
+    "SearchEngine",
+    "SearchResult",
+    "InvertedIndex",
+    "PrismaTool",
+    "SnippetService",
+    "make_snippet",
+    "SuggestionService",
+]

@@ -1,0 +1,129 @@
+"""The synthetic search engine.
+
+Stands in for Yahoo! Search wherever the paper consumes it:
+
+* phrase-query **result counts** — interestingness feature 4
+  ("searchengine phrase": "we submit the concept to the search engine
+  as a phrase query, and use the number of result pages returned");
+* ranked **results with snippets** — the primary resource for mining
+  relevant keywords (Section IV-B);
+* free-text retrieval for the Prisma pseudo-relevance-feedback tool.
+
+Scoring is BM25 (free queries) or summed phrase tf*idf (phrase
+queries); both only use index statistics, exactly like a real engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.search.index import InvertedIndex
+from repro.text.tokenizer import tokenize_lower
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked result."""
+
+    doc_id: int
+    score: float
+
+
+class SearchEngine:
+    """BM25 search over tokenized documents, with phrase support."""
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self._index = InvertedIndex()
+        self._tokens: Dict[int, List[str]] = {}
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def document_count(self) -> int:
+        return self._index.document_count
+
+    def add_document(self, doc_id: int, text: str) -> None:
+        """Tokenize and index one document."""
+        tokens = tokenize_lower(text)
+        self._index.add_document(doc_id, tokens)
+        self._tokens[doc_id] = tokens
+
+    def tokens(self, doc_id: int) -> List[str]:
+        """The indexed token sequence of a document."""
+        return self._tokens[doc_id]
+
+    # -- scoring ---------------------------------------------------------
+
+    def _idf(self, term: str) -> float:
+        df = self._index.document_frequency(term)
+        n = self._index.document_count
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def _bm25(self, terms: Sequence[str], doc_id: int) -> float:
+        avg_len = self._index.average_document_length or 1.0
+        length_norm = 1 - self.b + self.b * self._index.doc_length(doc_id) / avg_len
+        score = 0.0
+        for term in set(terms):
+            tf = self._index.term_frequency(term, doc_id)
+            if tf == 0:
+                continue
+            score += self._idf(term) * tf * (self.k1 + 1) / (tf + self.k1 * length_norm)
+        return score
+
+    # -- queries ---------------------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> List[SearchResult]:
+        """Free-text BM25 search."""
+        terms = tokenize_lower(query)
+        if not terms:
+            return []
+        candidates = set()
+        for term in set(terms):
+            candidates.update(self._index.postings(term))
+        scored = [
+            SearchResult(doc_id, self._bm25(terms, doc_id)) for doc_id in candidates
+        ]
+        scored.sort(key=lambda r: (-r.score, r.doc_id))
+        return scored[:limit]
+
+    def phrase_search(self, phrase: str, limit: int = 10) -> List[SearchResult]:
+        """Exact-phrase search, scored by phrase frequency * idf."""
+        terms = tokenize_lower(phrase)
+        if not terms:
+            return []
+        matches = self._index.phrase_postings(terms)
+        idf = sum(self._idf(term) for term in terms)
+        scored = [
+            SearchResult(doc_id, count * idf) for doc_id, count in matches.items()
+        ]
+        scored.sort(key=lambda r: (-r.score, r.doc_id))
+        return scored[:limit]
+
+    def phrase_result_count(self, phrase: str) -> int:
+        """Feature 4: total number of pages matching the phrase query."""
+        terms = tokenize_lower(phrase)
+        if not terms:
+            return 0
+        return self._index.phrase_document_count(terms)
+
+    def result_count(self, query: str) -> int:
+        """Total number of pages matching the free query (any term)."""
+        terms = tokenize_lower(query)
+        candidates = set()
+        for term in set(terms):
+            candidates.update(self._index.postings(term))
+        return len(candidates)
+
+    @classmethod
+    def from_corpus(cls, documents, k1: float = 1.2, b: float = 0.75) -> "SearchEngine":
+        """Index an iterable of objects with ``doc_id`` and ``text``."""
+        engine = cls(k1=k1, b=b)
+        for document in documents:
+            engine.add_document(document.doc_id, document.text)
+        return engine

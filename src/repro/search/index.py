@@ -1,0 +1,104 @@
+"""Positional inverted index.
+
+Backs the synthetic search engine that stands in for Yahoo! Search: the
+feature space needs phrase-query result counts (feature 4), and the
+relevance miner needs ranked results with snippets, so the index stores
+token positions to support exact phrase matching.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class InvertedIndex:
+    """Term -> {doc_id -> [positions]} with document statistics."""
+
+    def __init__(self):
+        self._postings: Dict[str, Dict[int, List[int]]] = defaultdict(dict)
+        self._doc_lengths: Dict[int, int] = {}
+
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def add_document(self, doc_id: int, tokens: Sequence[str]) -> None:
+        """Index one document's token sequence."""
+        if doc_id in self._doc_lengths:
+            raise ValueError(f"doc_id {doc_id} already indexed")
+        self._doc_lengths[doc_id] = len(tokens)
+        for position, term in enumerate(tokens):
+            self._postings[term].setdefault(doc_id, []).append(position)
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._doc_lengths[doc_id]
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing *term*."""
+        return len(self._postings.get(term, ()))
+
+    def postings(self, term: str) -> Dict[int, List[int]]:
+        """doc_id -> sorted positions for *term* (empty dict if unseen)."""
+        return self._postings.get(term, {})
+
+    def term_frequency(self, term: str, doc_id: int) -> int:
+        return len(self._postings.get(term, {}).get(doc_id, ()))
+
+    def phrase_postings(self, terms: Sequence[str]) -> Dict[int, int]:
+        """doc_id -> number of exact contiguous occurrences of *terms*.
+
+        Positional intersection: start from the rarest term's postings
+        and verify each candidate start offset.
+        """
+        if not terms:
+            return {}
+        if len(terms) == 1:
+            return {
+                doc_id: len(positions)
+                for doc_id, positions in self.postings(terms[0]).items()
+            }
+        per_term = [self.postings(term) for term in terms]
+        if any(not postings for postings in per_term):
+            return {}
+        # iterate docs containing the rarest term
+        anchor = min(range(len(terms)), key=lambda i: len(per_term[i]))
+        candidates = set(per_term[anchor])
+        for postings in per_term:
+            candidates &= set(postings)
+            if not candidates:
+                return {}
+        matches: Dict[int, int] = {}
+        for doc_id in candidates:
+            first_positions = per_term[0][doc_id]
+            later = [set(per_term[i][doc_id]) for i in range(1, len(terms))]
+            count = sum(
+                1
+                for start in first_positions
+                if all(start + offset + 1 in later[offset] for offset in range(len(later)))
+            )
+            if count:
+                matches[doc_id] = count
+        return matches
+
+    def phrase_document_count(self, terms: Sequence[str]) -> int:
+        """Number of documents containing the exact phrase."""
+        return len(self.phrase_postings(terms))
+
+    @classmethod
+    def from_documents(
+        cls, documents: Iterable[Tuple[int, Sequence[str]]]
+    ) -> "InvertedIndex":
+        index = cls()
+        for doc_id, tokens in documents:
+            index.add_document(doc_id, tokens)
+        return index

@@ -1,0 +1,41 @@
+"""Related-query suggestion service.
+
+Stands in for the Yahoo! Developer Network suggestion API the paper
+queries (Section IV-B): "we submit the concept ci to this service and
+obtain up to 300 suggestions.  We also obtain the query frequencies of
+the suggestions."  Suggestions are simply the query-log queries that
+contain the concept phrase, ranked by submission frequency — which is
+how such services are built from logs in practice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.querylog.log import QueryLog
+from repro.text.tokenizer import tokenize_lower
+
+
+class SuggestionService:
+    """Query-log-backed related-query suggestions."""
+
+    def __init__(self, query_log: QueryLog, max_suggestions: int = 300):
+        self._log = query_log
+        self.max_suggestions = max_suggestions
+
+    def suggest(self, phrase: str) -> List[Tuple[str, int]]:
+        """Related queries containing *phrase*, with their frequencies.
+
+        The exact query itself is excluded (it is not a *related*
+        suggestion), matching the service the paper describes.
+        """
+        terms = tuple(tokenize_lower(phrase))
+        if not terms:
+            return []
+        hits = [
+            (" ".join(query), frequency)
+            for query, frequency in self._log.queries_containing(terms)
+            if query != terms
+        ]
+        hits.sort(key=lambda kv: (-kv[1], kv[0]))
+        return hits[: self.max_suggestions]

@@ -1,0 +1,40 @@
+"""Text-processing substrate.
+
+Everything the Contextual Shortcuts pipeline needs before entity
+detection can run: HTML stripping, tokenization with sentence and
+paragraph boundaries, Porter stemming, stopword filtering, and tf*idf
+vectorization.  All implemented from scratch; no external NLP
+dependencies.
+"""
+
+from repro.text.html import strip_html
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenizer import (
+    Token,
+    paragraphs,
+    sentences,
+    tokenize,
+    tokenize_lower,
+)
+from repro.text.vectorize import (
+    DocumentFrequencyTable,
+    TermVector,
+    term_frequencies,
+)
+
+__all__ = [
+    "strip_html",
+    "PorterStemmer",
+    "stem",
+    "STOPWORDS",
+    "is_stopword",
+    "Token",
+    "tokenize",
+    "tokenize_lower",
+    "sentences",
+    "paragraphs",
+    "term_frequencies",
+    "TermVector",
+    "DocumentFrequencyTable",
+]

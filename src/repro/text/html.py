@@ -1,0 +1,46 @@
+"""Minimal HTML parsing for the pre-processing stage.
+
+The paper's pipeline starts with "HTML parsing"; published news stories
+arrive as markup.  We implement a small, dependency-free HTML-to-text
+converter that preserves block structure as paragraph breaks, which the
+downstream sentence/paragraph boundary detection relies on.
+"""
+
+from __future__ import annotations
+
+import re
+from html import unescape
+
+_SCRIPT_STYLE_RE = re.compile(
+    r"<(script|style)\b[^>]*>.*?</\1\s*>", re.IGNORECASE | re.DOTALL
+)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_BLOCK_TAG_RE = re.compile(
+    r"</?(p|div|br|h[1-6]|li|ul|ol|tr|table|blockquote|section|article)\b[^>]*>",
+    re.IGNORECASE,
+)
+_TAG_RE = re.compile(r"<[^>]+>")
+_MULTI_BLANK_RE = re.compile(r"\n{3,}")
+_SPACES_RE = re.compile(r"[ \t]{2,}")
+
+
+def strip_html(markup: str) -> str:
+    """Convert *markup* into plain text.
+
+    Script/style bodies and comments are removed entirely; block-level
+    tags become paragraph breaks; all remaining tags are dropped; HTML
+    entities are unescaped.
+
+    >>> strip_html("<p>Hello <b>world</b></p><p>Bye</p>")
+    'Hello world\\n\\nBye'
+    """
+    text = _SCRIPT_STYLE_RE.sub(" ", markup)
+    text = _COMMENT_RE.sub(" ", text)
+    text = _BLOCK_TAG_RE.sub("\n\n", text)
+    text = _TAG_RE.sub(" ", text)
+    text = unescape(text)
+    text = _SPACES_RE.sub(" ", text)
+    lines = [line.strip() for line in text.split("\n")]
+    text = "\n".join(lines)
+    text = _MULTI_BLANK_RE.sub("\n\n", text)
+    return text.strip()

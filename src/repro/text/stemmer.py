@@ -1,0 +1,205 @@
+"""Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+The paper stems every relevant term before it enters the Global TID
+table (Sections IV-B and VI), so the stemmer sits on the hot path of the
+production framework.  This is a faithful implementation of the original
+five-step algorithm from "An algorithm for suffix stripping".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer.
+
+    >>> PorterStemmer().stem("relational")
+    'relat'
+    >>> PorterStemmer().stem("caresses")
+    'caress'
+    """
+
+    # -- character classification ------------------------------------
+
+    def _is_consonant(self, word: str, index: int) -> bool:
+        char = word[index]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            if index == 0:
+                return True
+            return not self._is_consonant(word, index - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """The Porter measure m: number of VC sequences in *stem*."""
+        forms: List[str] = []
+        for index in range(len(stem)):
+            if self._is_consonant(stem, index):
+                if not forms or forms[-1] != "c":
+                    forms.append("c")
+            else:
+                if not forms or forms[-1] != "v":
+                    forms.append("v")
+        pattern = "".join(forms)
+        if pattern.startswith("c"):
+            pattern = pattern[1:]
+        if pattern.endswith("v"):
+            pattern = pattern[:-1]
+        return pattern.count("v")
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """*o condition: stem ends cvc where the final c is not w, x or y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- steps ---------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            if self._measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flagged = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flagged = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flagged = True
+        if flagged:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive",
+        "ize",
+    )
+
+    def _replace_by_measure(self, word, suffixes, min_measure=0):
+        for suffix, replacement in suffixes:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > min_measure:
+                    return stem + replacement
+                return word
+        return word
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if suffix == "ion" and (not stem or stem[-1] not in "st"):
+                    return word
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            measure = self._measure(stem)
+            if measure > 1:
+                return stem
+            if measure == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self._measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+    # -- public API ------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word* (expects lower-case input)."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._replace_by_measure(word, self._STEP2_SUFFIXES)
+        word = self._replace_by_measure(word, self._STEP3_SUFFIXES)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=65536)
+def stem(word: str) -> str:
+    """Memoized module-level stemmer.
+
+    The runtime framework stems every document term on the hot path
+    (Section VI); natural-language term distributions are Zipfian, so a
+    bounded cache removes nearly all repeated work.
+    """
+    return _DEFAULT_STEMMER.stem(word.lower())

@@ -1,0 +1,124 @@
+"""Tokenization with character offsets, sentence and paragraph boundaries.
+
+The Contextual Shortcuts pre-processing stage (paper Section II) performs
+"HTML parsing, tokenization, sentence, and paragraph boundary detection".
+This module supplies the tokenization and boundary-detection pieces.
+
+Tokens carry character offsets into the original text so that detected
+entities can later be annotated in place (the paper's "output annotation"
+step) and so that documents can be partitioned into character windows
+(Section V-A.1) without losing token alignment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z]+(?:'[A-Za-z]+)?   # words, with internal apostrophe (don't, O'Brien)
+    | \d+(?:[.,]\d+)*          # numbers, incl. 1,234.5
+    | \S                       # any other single non-space char (punctuation)
+    """,
+    re.VERBOSE,
+)
+
+# Sentence terminators followed by whitespace and an upper-case/digit start.
+_SENTENCE_BOUNDARY_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'(])")
+
+_PARAGRAPH_BOUNDARY_RE = re.compile(r"\n\s*\n")
+
+_ABBREVIATIONS = frozenset(
+    {
+        "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen",
+        "col", "sgt", "lt", "st", "jr", "sr", "inc", "corp", "co",
+        "vs", "etc", "e.g", "i.e", "u.s", "u.k", "no", "dept",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its character span in the source text."""
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def lower(self) -> str:
+        """Lower-cased token text."""
+        return self.text.lower()
+
+    def is_word(self) -> bool:
+        """True if the token starts with a letter (not punctuation/number)."""
+        return self.text[:1].isalpha()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into tokens, keeping character offsets.
+
+    >>> [t.text for t in tokenize("Sen. Clinton, who argued...")]
+    ['Sen', '.', 'Clinton', ',', 'who', 'argued', '.', '.', '.']
+    """
+    return [
+        Token(match.group(), match.start(), match.end())
+        for match in _TOKEN_RE.finditer(text)
+    ]
+
+
+def tokenize_lower(text: str) -> List[str]:
+    """Lower-cased word tokens only (punctuation dropped).
+
+    This is the normalization used throughout feature extraction: the
+    paper lower-cases all terms and strips surrounding punctuation.
+    """
+    return [token.lower for token in tokenize(text) if token.is_word()]
+
+
+def _is_abbreviation_boundary(text: str, boundary_start: int) -> bool:
+    """True if the sentence split at *boundary_start* follows an abbreviation."""
+    prefix = text[:boundary_start].rstrip()
+    if not prefix.endswith("."):
+        return False
+    word_match = re.search(r"([A-Za-z][A-Za-z.]*)\.$", prefix)
+    if word_match is None:
+        return False
+    return word_match.group(1).lower() in _ABBREVIATIONS
+
+
+def sentences(text: str) -> List[str]:
+    """Split *text* into sentences using punctuation heuristics.
+
+    Common abbreviations ("Sen.", "Dr.", "U.S.") do not end sentences.
+    """
+    pieces: List[str] = []
+    last = 0
+    for match in _SENTENCE_BOUNDARY_RE.finditer(text):
+        if _is_abbreviation_boundary(text, match.start()):
+            continue
+        pieces.append(text[last : match.start()].strip())
+        last = match.end()
+    tail = text[last:].strip()
+    if tail:
+        pieces.append(tail)
+    return [piece for piece in pieces if piece]
+
+
+def paragraphs(text: str) -> List[str]:
+    """Split *text* into paragraphs on blank lines."""
+    return [part.strip() for part in _PARAGRAPH_BOUNDARY_RE.split(text) if part.strip()]
+
+
+def iter_ngrams(words: List[str], max_len: int) -> Iterator[tuple]:
+    """Yield all contiguous word n-grams up to *max_len* as tuples.
+
+    Used by the dictionary and concept detectors to enumerate candidate
+    phrases in a document.
+    """
+    count = len(words)
+    for size in range(1, max_len + 1):
+        for start in range(count - size + 1):
+            yield tuple(words[start : start + size])

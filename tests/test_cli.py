@@ -1,0 +1,57 @@
+"""Tests for the command-line interface (parser wiring + demo command)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.top == 5
+
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "table3", "--stories", "50"])
+        assert args.name == "table3"
+        assert args.stories == 50
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "table9"])
+
+    def test_rank_arguments(self):
+        args = build_parser().parse_args(["rank", "file.txt", "--html"])
+        assert args.file == "file.txt"
+        assert args.html is True
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "top concepts" in output
+
+    def test_rank_missing_file(self, capsys):
+        assert main(["rank", "/nonexistent/file.txt"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_quick_experiment_table5(self, capsys):
+        assert main(["experiment", "table5", "--quick", "--stories", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "interestingness + relevance" in output
+        assert "WER=" in output
+
+    def test_quick_experiment_table2(self, capsys):
+        assert main(["experiment", "table2", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "specific" in output
+
+    def test_describe_quick(self, capsys):
+        assert main(["describe", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "unit lexicon" in output
+        assert "query log" in output

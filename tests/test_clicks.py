@@ -1,0 +1,230 @@
+"""Tests for the click model, tracker, and dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.clicks import (
+    ClickDataset,
+    ClickModelConfig,
+    ClickTracker,
+    EntityObservation,
+    FilterRules,
+    StoryClickRecord,
+    UserClickModel,
+    build_windows,
+    filter_records,
+)
+
+
+def make_observation(phrase="x", position=0, views=100, clicks=5, concept_id=0):
+    return EntityObservation(
+        phrase=phrase,
+        concept_id=concept_id,
+        entity_type=None,
+        position=position,
+        baseline_score=1.0,
+        views=views,
+        clicks=clicks,
+    )
+
+
+class TestUserClickModel:
+    def setup_method(self):
+        self.model = UserClickModel(seed=1)
+
+    def test_probability_in_unit_interval(self):
+        for i in (0.0, 0.5, 1.0):
+            for r in (0.0, 0.5, 1.0):
+                for p in (0, 1000, 100000):
+                    prob = self.model.click_probability(i, r, p)
+                    assert 0.0 <= prob <= 1.0
+
+    def test_monotone_in_interestingness(self):
+        low = self.model.click_probability(0.1, 0.8, 0)
+        high = self.model.click_probability(0.9, 0.8, 0)
+        assert high > low
+
+    def test_monotone_in_relevance(self):
+        low = self.model.click_probability(0.8, 0.1, 0)
+        high = self.model.click_probability(0.8, 0.9, 0)
+        assert high > low
+
+    def test_position_bias(self):
+        early = self.model.click_probability(0.8, 0.8, 0)
+        late = self.model.click_probability(0.8, 0.8, 8000)
+        assert early > late
+
+    def test_noise_floor(self):
+        assert self.model.click_probability(0.0, 0.0, 0) == pytest.approx(
+            self.model.config.noise_floor
+        )
+
+    def test_views_positive_heavy_tail(self):
+        views = [self.model.sample_views() for __ in range(500)]
+        assert min(views) >= 1
+        assert max(views) > 10 * np.median(views)
+
+    def test_clicks_bounded_by_views(self):
+        for __ in range(50):
+            clicks = self.model.sample_clicks(0.5, 40)
+            assert 0 <= clicks <= 40
+
+    def test_entity_clicks_uses_default_relevance(self, env_world):
+        concept = env_world.concepts[0]
+        clicks = self.model.entity_clicks(concept, None, 0, 1000)
+        assert clicks >= 0
+
+
+class TestClickTracker:
+    @pytest.fixture(scope="class")
+    def records(self, env_world, env_pipeline):
+        tracker = ClickTracker(env_world, env_pipeline, UserClickModel(seed=3))
+        stories = env_world.story_generator(seed=8).generate_many(30)
+        return tracker.track(stories), env_world
+
+    def test_every_story_reported(self, records):
+        reports, __ = records
+        assert len(reports) == 30
+
+    def test_views_shared_across_entities(self, records):
+        reports, __ = records
+        for report in reports:
+            for entity in report.entities:
+                assert entity.views == report.views
+
+    def test_clicks_bounded(self, records):
+        reports, __ = records
+        for report in reports:
+            for entity in report.entities:
+                assert 0 <= entity.clicks <= entity.views
+
+    def test_entities_map_to_concepts(self, records):
+        reports, world = records
+        valid = {c.phrase.lower() for c in world.concepts}
+        for report in reports:
+            for entity in report.entities:
+                assert entity.phrase in valid
+
+    def test_ctr_property(self):
+        entity = make_observation(views=200, clicks=10)
+        assert entity.ctr == pytest.approx(0.05)
+        zero = make_observation(views=0, clicks=0)
+        assert zero.ctr == 0.0
+
+    def test_relevant_interesting_entities_click_more(self, records):
+        """Aggregate sanity: latent quality must show up in CTR."""
+        reports, world = records
+        good, bad = [], []
+        for report in reports:
+            if report.views < 30:
+                continue
+            for entity in report.entities:
+                concept = world.concepts[entity.concept_id]
+                if concept.interestingness > 0.5:
+                    good.append(entity.ctr)
+                elif concept.interestingness < 0.1:
+                    bad.append(entity.ctr)
+        assert good and bad
+        assert np.mean(good) > np.mean(bad)
+
+    def test_annotate_top_limits(self, env_world, env_pipeline):
+        tracker = ClickTracker(
+            env_world, env_pipeline, UserClickModel(seed=4), annotate_top=2
+        )
+        story = env_world.story_generator(seed=9).generate(0)
+        report = tracker.track_story(story)
+        assert len(report.entities) <= 2
+
+
+class TestFilters:
+    def make_record(self, views=100, n_entities=3, top_clicks=10):
+        entities = [
+            make_observation(
+                phrase=f"e{i}", clicks=top_clicks if i == 0 else 1, views=views
+            )
+            for i in range(n_entities)
+        ]
+        return StoryClickRecord(story_id=0, text="x" * 100, views=views,
+                                entities=entities)
+
+    def test_keeps_good_record(self):
+        assert filter_records([self.make_record()])
+
+    def test_drops_low_views(self):
+        assert not filter_records([self.make_record(views=29)])
+
+    def test_drops_single_concept(self):
+        assert not filter_records([self.make_record(n_entities=1)])
+
+    def test_drops_no_clicks(self):
+        assert not filter_records([self.make_record(top_clicks=3)])
+
+    def test_boundaries(self):
+        rules = FilterRules()
+        assert filter_records([self.make_record(views=30)], rules)
+        assert filter_records([self.make_record(top_clicks=4)], rules)
+
+
+class TestWindows:
+    def make_record(self, length, positions):
+        entities = [
+            make_observation(phrase=f"e{i}", position=p, clicks=5)
+            for i, p in enumerate(positions)
+        ]
+        return StoryClickRecord(
+            story_id=7, text="a" * length, views=100, entities=entities
+        )
+
+    def test_short_story_single_window(self):
+        record = self.make_record(1000, [10, 500])
+        windows = build_windows([record])
+        assert len(windows) == 1
+        assert windows[0].text == record.text
+
+    def test_long_story_multiple_windows(self):
+        record = self.make_record(6000, [100, 2000, 3000, 5500])
+        windows = build_windows([record])
+        assert len(windows) >= 2
+        for window in windows:
+            assert len(window.text) <= 2500
+
+    def test_overlap_duplicates_boundary_entities(self):
+        # entity at 2200 lives in window [0,2500) and window [2000,4500)
+        record = self.make_record(5000, [2200, 2300, 4000, 4100])
+        windows = build_windows([record])
+        containing = [
+            w for w in windows if any(e.position == 2200 for e in w.entities)
+        ]
+        assert len(containing) >= 1
+
+    def test_single_entity_windows_dropped(self):
+        record = self.make_record(1000, [10])
+        assert build_windows([record]) == []
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            build_windows([], window_chars=100, overlap=100)
+
+    def test_window_ids_unique(self):
+        records = [
+            self.make_record(3000, [0, 100, 2600, 2700]),
+            self.make_record(1000, [0, 100]),
+        ]
+        windows = build_windows(records)
+        ids = [w.window_id for w in windows]
+        assert len(set(ids)) == len(ids)
+
+
+class TestClickDataset:
+    def test_from_records_pipeline(self, env_world, env_pipeline):
+        tracker = ClickTracker(env_world, env_pipeline, UserClickModel(seed=5))
+        stories = env_world.story_generator(seed=11).generate_many(40)
+        dataset = ClickDataset.from_records(tracker.track(stories))
+        assert dataset.story_count <= 40
+        assert dataset.window_count >= dataset.story_count  # >=1 window each
+        assert dataset.entity_count > 0
+        assert dataset.total_clicks > 0
+        for record in dataset.records:
+            assert record.views >= 30
+            assert len(record.entities) >= 2
+            assert record.max_clicks() >= 4

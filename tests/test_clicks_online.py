@@ -1,0 +1,170 @@
+"""Tests for the online CTR feedback extension (paper Section VIII)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clicks import OnlineCtrTracker, OnlineScoreAdjuster
+
+
+class TestOnlineCtrTracker:
+    def test_empty_tracker(self):
+        tracker = OnlineCtrTracker()
+        assert tracker.global_ctr == 0.0
+        assert tracker.views("anything") == 0.0
+        assert tracker.ctr("anything") == 0.0
+
+    def test_observe_accumulates(self):
+        tracker = OnlineCtrTracker()
+        tracker.observe("cuba", 100, 5)
+        tracker.observe("cuba", 100, 5)
+        assert tracker.views("cuba") == pytest.approx(200, rel=0.01)
+
+    def test_global_ctr(self):
+        tracker = OnlineCtrTracker()
+        tracker.observe("a", 100, 10)
+        tracker.observe("b", 100, 0)
+        assert tracker.global_ctr == pytest.approx(0.05, rel=0.01)
+
+    def test_invalid_observation(self):
+        tracker = OnlineCtrTracker()
+        with pytest.raises(ValueError):
+            tracker.observe("x", 10, 11)
+        with pytest.raises(ValueError):
+            tracker.observe("x", -1, 0)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            OnlineCtrTracker(half_life_views=0)
+
+    def test_shrinkage_toward_global(self):
+        tracker = OnlineCtrTracker()
+        tracker.observe("hot", 50, 25)  # raw CTR 0.5
+        tracker.observe("bulk", 10000, 100)  # global ~0.0125
+        shrunk = tracker.ctr("hot", prior_views=200)
+        assert tracker.global_ctr < shrunk < 0.5
+
+    def test_low_traffic_stays_near_prior(self):
+        tracker = OnlineCtrTracker()
+        tracker.observe("bulk", 10000, 200)
+        tracker.observe("lucky", 2, 2)  # two views, two clicks
+        assert tracker.ctr("lucky", prior_views=200) < 0.05
+
+    def test_decay_forgets_old_evidence(self):
+        tracker = OnlineCtrTracker(half_life_views=1000)
+        tracker.observe("old", 500, 250)  # hot at first
+        for __ in range(20):
+            tracker.observe("filler", 1000, 10)  # heavy cold traffic
+        # old evidence decayed by 2^-20
+        assert tracker.views("old") < 1.0
+
+    def test_observe_report(self, env_world, env_pipeline):
+        from repro.clicks import ClickTracker, UserClickModel
+
+        production = ClickTracker(env_world, env_pipeline, UserClickModel(seed=9))
+        record = production.track_story(env_world.story_generator(13).generate(0))
+        tracker = OnlineCtrTracker()
+        tracker.observe_report(record)
+        if record.entities:
+            assert tracker.views(record.entities[0].phrase) > 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 500), st.integers(0, 500)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30)
+    def test_ctr_always_in_unit_interval(self, observations):
+        tracker = OnlineCtrTracker()
+        for views, clicks in observations:
+            tracker.observe("x", views, min(clicks, views))
+        assert 0.0 <= tracker.ctr("x") <= 1.0
+        assert 0.0 <= tracker.global_ctr <= 1.0
+
+
+class TestOnlineScoreAdjuster:
+    def build(self):
+        tracker = OnlineCtrTracker()
+        tracker.observe("average", 10000, 200)  # global CTR 0.02
+        tracker.observe("breaking", 2000, 200)  # live CTR 0.1 (5x)
+        tracker.observe("dud", 2000, 2)  # live CTR 0.001
+        return tracker, OnlineScoreAdjuster(tracker, strength=0.5)
+
+    def test_hot_concept_boosted(self):
+        __, adjuster = self.build()
+        assert adjuster.adjustment("breaking") > 0.1
+
+    def test_cold_concept_punished(self):
+        __, adjuster = self.build()
+        assert adjuster.adjustment("dud") < -0.1
+
+    def test_average_concept_between_extremes(self):
+        __, adjuster = self.build()
+        middle = adjuster.adjustment("average")
+        assert adjuster.adjustment("dud") < middle < adjuster.adjustment("breaking")
+        assert abs(middle) < 0.25
+
+    def test_unseen_concept_near_prior(self):
+        __, adjuster = self.build()
+        # unseen concepts shrink to the global CTR -> tiny adjustment
+        assert abs(adjuster.adjustment("never seen")) < 0.1
+
+    def test_ratio_clamped(self):
+        tracker = OnlineCtrTracker()
+        tracker.observe("bulk", 100000, 100)
+        tracker.observe("viral", 10000, 9000)
+        adjuster = OnlineScoreAdjuster(tracker, strength=1.0, max_ratio=8.0)
+        assert adjuster.adjustment("viral") <= math.log(8.0) + 1e-9
+
+    def test_empty_tracker_no_adjustment(self):
+        adjuster = OnlineScoreAdjuster(OnlineCtrTracker())
+        assert adjuster.adjustment("x") == 0.0
+
+    def test_adjust_scores_alignment(self):
+        __, adjuster = self.build()
+        with pytest.raises(ValueError):
+            adjuster.adjust_scores(["a"], [1.0, 2.0])
+
+    def test_rerank_promotes_breaking_news(self):
+        __, adjuster = self.build()
+        # offline model slightly prefers 'dud'; live data flips it
+        ranked = adjuster.rerank(["dud", "breaking"], [1.0, 0.9])
+        assert ranked[0][0] == "breaking"
+
+    def test_rerank_respects_large_offline_gap(self):
+        __, adjuster = self.build()
+        ranked = adjuster.rerank(["dud", "breaking"], [10.0, 0.0])
+        assert ranked[0][0] == "dud"
+
+
+class TestOnlineEndToEnd:
+    def test_world_event_spike_reranks(self, env_world, env_pipeline):
+        """A concept whose CTR spikes climbs the adjusted ranking."""
+        from repro.clicks import ClickTracker, UserClickModel
+
+        production = ClickTracker(env_world, env_pipeline, UserClickModel(seed=21))
+        stories = env_world.story_generator(seed=33).generate_many(15)
+        records = production.track(stories)
+        tracker = OnlineCtrTracker()
+        for record in records:
+            tracker.observe_report(record)
+
+        phrases = sorted(
+            {e.phrase for r in records for e in r.entities}
+        )[:6]
+        if len(phrases) < 3:
+            return
+        # fabricate a breaking-news spike on one mid-ranked phrase
+        spiking = phrases[2]
+        for __ in range(10):
+            tracker.observe(spiking, 500, 100)
+
+        adjuster = OnlineScoreAdjuster(tracker, strength=1.0)
+        flat_scores = [0.0] * len(phrases)
+        ranked = adjuster.rerank(phrases, flat_scores)
+        assert ranked[0][0] == spiking

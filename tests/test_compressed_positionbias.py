@@ -1,0 +1,184 @@
+"""Tests for the compressed relevance store and position-bias analysis."""
+
+import numpy as np
+import pytest
+
+from repro.clicks.tracking import EntityObservation, StoryClickRecord
+from repro.eval import decay_ratio, fitted_decay_chars, position_ctr_curve
+from repro.features import RelevanceModel, RelevanceScorer
+from repro.runtime import (
+    CompressedRelevanceStore,
+    GlobalTidTable,
+    PackedRelevanceStore,
+)
+
+
+def make_model():
+    return RelevanceModel(
+        {
+            "global warming": tuple(
+                (f"term{i}", 100.0 - i) for i in range(100)
+            ),
+            "stock market": (("trade", 42.0), ("term3", 7.0)),
+            "cold concept": (),
+        }
+    )
+
+
+class TestCompressedRelevanceStore:
+    def test_scores_match_packed_store(self):
+        model = make_model()
+        packed = PackedRelevanceStore.build(model, GlobalTidTable())
+        compressed = CompressedRelevanceStore.build(model, GlobalTidTable())
+        text = "term0 term1 term50 trade something"
+        for phrase in model.phrases():
+            assert compressed.score_text(phrase, text) == pytest.approx(
+                packed.score_text(phrase, text)
+            )
+
+    def test_memory_smaller_than_packed(self):
+        model = make_model()
+        packed = PackedRelevanceStore.build(model, GlobalTidTable())
+        compressed = CompressedRelevanceStore.build(model, GlobalTidTable())
+        assert compressed.memory_bytes() < packed.memory_bytes()
+
+    def test_from_packed_conversion(self):
+        model = make_model()
+        packed = PackedRelevanceStore.build(model, GlobalTidTable())
+        converted = CompressedRelevanceStore.from_packed(packed)
+        text = "term0 term7 trade"
+        for phrase in model.phrases():
+            assert converted.score_text(phrase, text) == pytest.approx(
+                packed.score_text(phrase, text)
+            )
+        assert converted.tid_table is packed.tid_table
+
+    def test_unknown_phrase_and_empty_context(self):
+        compressed = CompressedRelevanceStore.build(make_model())
+        assert compressed.score("unknown", {1, 2}) == 0.0
+        assert compressed.score("global warming", set()) == 0.0
+
+    def test_contains_and_len(self):
+        compressed = CompressedRelevanceStore.build(make_model())
+        assert "global warming" in compressed
+        assert "GLOBAL WARMING" in compressed
+        assert len(compressed) == 3
+
+    def test_drop_in_for_ranker_service(
+        self, env_world, env_extractor, env_miner, env_pipeline, env_stories
+    ):
+        """The compressed store must slot into RankerService unchanged."""
+        import numpy as np
+
+        from repro.ranking import RankSVM
+        from repro.runtime import QuantizedInterestingnessStore, RankerService
+
+        phrases = [c.phrase for c in env_world.concepts]
+        interestingness = QuantizedInterestingnessStore.build(
+            env_extractor, phrases
+        )
+        model = RelevanceModel.mine_all(env_miner, phrases[:40])
+        packed = PackedRelevanceStore.build(model)
+        compressed = CompressedRelevanceStore.from_packed(packed)
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(50, 16))
+        svm = RankSVM(epochs=30)
+        svm.fit(X, X[:, 0], np.repeat(np.arange(10), 5))
+
+        service_packed = RankerService(env_pipeline, interestingness, packed, svm)
+        service_compressed = RankerService(
+            env_pipeline, interestingness, compressed, svm
+        )
+        story = env_stories[0]
+        ranked_packed = [d.phrase for d in service_packed.process(story.text)]
+        ranked_compressed = [
+            d.phrase for d in service_compressed.process(story.text)
+        ]
+        assert ranked_packed == ranked_compressed
+
+    def test_on_world_mined_keywords(self, env_world, env_miner):
+        phrases = [c.phrase for c in env_world.concepts[:10]]
+        model = RelevanceModel.mine_all(env_miner, phrases)
+        packed = PackedRelevanceStore.build(model, GlobalTidTable())
+        compressed = CompressedRelevanceStore.from_packed(packed)
+        story = env_world.story_generator(seed=6).generate(0)
+        context_packed = packed.context_stems(story.text)
+        for phrase in phrases:
+            assert compressed.score(phrase, context_packed) == pytest.approx(
+                packed.score(phrase, context_packed)
+            )
+        assert compressed.memory_bytes() < packed.memory_bytes()
+
+
+def make_records(decay_chars=1000.0, stories=60, seed=0):
+    """Records whose CTR decays exponentially with position."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for story_id in range(stories):
+        entities = []
+        for position in (50, 800, 1700, 2600, 3500):
+            views = 500
+            ctr = 0.1 * np.exp(-position / decay_chars)
+            clicks = int(rng.binomial(views, ctr))
+            entities.append(
+                EntityObservation(
+                    phrase=f"e{position}",
+                    concept_id=0,
+                    entity_type=None,
+                    position=position,
+                    baseline_score=0.0,
+                    views=views,
+                    clicks=clicks,
+                )
+            )
+        records.append(
+            StoryClickRecord(
+                story_id=story_id, text="x" * 4000, views=500, entities=entities
+            )
+        )
+    return records
+
+
+class TestPositionBias:
+    def test_curve_shape(self):
+        curve = position_ctr_curve(make_records(), bin_chars=500)
+        assert len(curve) == 8
+        populated = [b for b in curve if b.views > 0]
+        # CTR decays monotonically across populated bins
+        ctrs = [b.ctr for b in populated]
+        assert ctrs == sorted(ctrs, reverse=True)
+
+    def test_decay_ratio(self):
+        curve = position_ctr_curve(make_records(decay_chars=800))
+        assert decay_ratio(curve) > 3.0
+
+    def test_flat_curve_ratio_one(self):
+        records = make_records(decay_chars=1e9)
+        curve = position_ctr_curve(records)
+        assert decay_ratio(curve) == pytest.approx(1.0, abs=0.2)
+
+    def test_fitted_decay_recovers_constant(self):
+        curve = position_ctr_curve(make_records(decay_chars=1200, stories=200))
+        fitted = fitted_decay_chars(curve)
+        assert fitted == pytest.approx(1200, rel=0.25)
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            position_ctr_curve([], bin_chars=0)
+
+    def test_empty_records(self):
+        curve = position_ctr_curve([], bin_chars=500)
+        assert all(b.views == 0 for b in curve)
+        assert decay_ratio(curve) == 1.0
+        assert fitted_decay_chars(curve) == float("inf")
+
+    def test_click_model_decay_recoverable(self, env_world, env_pipeline):
+        """The world's tracked clicks must show the configured bias."""
+        from repro.clicks import ClickTracker, UserClickModel
+
+        tracker = ClickTracker(env_world, env_pipeline, UserClickModel(seed=77))
+        stories = env_world.story_generator(seed=88).generate_many(100)
+        records = tracker.track(stories)
+        curve = position_ctr_curve(records, bin_chars=800, max_position=3200)
+        assert decay_ratio(curve) > 1.0

@@ -1,0 +1,166 @@
+"""Tests for the concept universe and document generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    Concept,
+    StoryGenerator,
+    Vocabulary,
+    WebCorpusGenerator,
+    generate_concepts,
+    generate_topics,
+)
+
+
+@pytest.fixture(scope="module")
+def small_universe():
+    rng = np.random.default_rng(11)
+    vocab = Vocabulary.generate(rng, 1200)
+    topics = generate_topics(rng, vocab, 8, words_per_topic=40)
+    concepts = generate_concepts(rng, topics, 120, junk_fraction=0.08)
+    return rng, vocab, topics, concepts
+
+
+class TestGenerateConcepts:
+    def test_count(self, small_universe):
+        __, __, __, concepts = small_universe
+        assert len(concepts) == 120
+
+    def test_ids_are_sequential(self, small_universe):
+        __, __, __, concepts = small_universe
+        assert [c.concept_id for c in concepts] == list(range(120))
+
+    def test_phrases_unique(self, small_universe):
+        __, __, __, concepts = small_universe
+        phrases = [c.phrase for c in concepts]
+        assert len(set(phrases)) == len(phrases)
+
+    def test_junk_present_and_flagged(self, small_universe):
+        __, __, __, concepts = small_universe
+        junk = [c for c in concepts if c.is_junk]
+        assert junk
+        for concept in junk:
+            assert concept.taxonomy_type is None
+            assert concept.home_topics == ()
+            assert concept.specificity < 0.2
+
+    def test_named_entities_have_types(self, small_universe):
+        __, __, __, concepts = small_universe
+        named = [c for c in concepts if c.is_named_entity]
+        assert named
+        assert all(c.taxonomy_type for c in named)
+
+    def test_latents_in_range(self, small_universe):
+        __, __, __, concepts = small_universe
+        for concept in concepts:
+            assert 0.0 <= concept.interestingness <= 1.0
+            assert 0.0 <= concept.specificity <= 1.0
+
+    def test_home_topics_valid(self, small_universe):
+        __, __, topics, concepts = small_universe
+        for concept in concepts:
+            for topic_id in concept.home_topics:
+                assert 0 <= topic_id < len(topics)
+
+    def test_relevant_in(self):
+        concept = Concept(0, "x", ("x",), 0.5, 0.5, False, None, (2, 5))
+        assert concept.relevant_in([5])
+        assert not concept.relevant_in([1, 3])
+
+
+class TestStoryGenerator:
+    @pytest.fixture(scope="class")
+    def stories(self, small_universe):
+        __, vocab, topics, concepts = small_universe
+        generator = StoryGenerator(
+            np.random.default_rng(5), topics, concepts, vocab
+        )
+        return generator.generate_many(20)
+
+    def test_story_count_and_ids(self, stories):
+        assert len(stories) == 20
+        assert [s.doc_id for s in stories] == list(range(20))
+
+    def test_mention_offsets_match_text(self, stories, small_universe):
+        __, __, __, concepts = small_universe
+        by_id = {c.concept_id: c for c in concepts}
+        for story in stories:
+            for mention in story.mentions:
+                span = story.text[mention.start : mention.end]
+                assert span == by_id[mention.concept_id].phrase
+
+    def test_stories_have_multiple_mentions(self, stories):
+        assert all(len(s.mentions) >= 2 for s in stories)
+
+    def test_relevant_mentions_scored_high(self, stories, small_universe):
+        __, __, __, concepts = small_universe
+        by_id = {c.concept_id: c for c in concepts}
+        for story in stories:
+            for mention in story.mentions:
+                concept = by_id[mention.concept_id]
+                if concept.relevant_in(story.topics):
+                    assert mention.relevance >= 0.75
+                elif not concept.is_junk:
+                    assert mention.relevance <= 0.25
+
+    def test_relevance_of_helper(self, stories):
+        story = stories[0]
+        mention = story.mentions[0]
+        assert story.relevance_of(mention.concept_id) >= mention.relevance
+        assert story.relevance_of(-1) == 0.0
+
+    def test_deterministic(self, small_universe):
+        __, vocab, topics, concepts = small_universe
+        a = StoryGenerator(np.random.default_rng(9), topics, concepts, vocab).generate(0)
+        b = StoryGenerator(np.random.default_rng(9), topics, concepts, vocab).generate(0)
+        assert a.text == b.text
+        assert a.mentions == b.mentions
+
+    def test_text_is_sentences(self, stories):
+        for story in stories[:5]:
+            assert story.text.endswith(".")
+            assert ". " in story.text
+
+
+class TestWebCorpusGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self, small_universe):
+        __, vocab, topics, concepts = small_universe
+        generator = WebCorpusGenerator(
+            np.random.default_rng(6), topics, concepts, vocab
+        )
+        return generator.generate(topic_page_count=60), concepts
+
+    def test_corpus_nonempty(self, corpus):
+        documents, __ = corpus
+        assert len(documents) > 60  # topic pages + focus + incidental
+
+    def test_doc_ids_unique(self, corpus):
+        documents, __ = corpus
+        ids = [d.doc_id for d in documents]
+        assert len(set(ids)) == len(ids)
+
+    def test_mention_offsets_valid(self, corpus):
+        documents, concepts = corpus
+        by_id = {c.concept_id: c for c in concepts}
+        for document in documents[:100]:
+            for mention in document.mentions:
+                assert (
+                    document.text[mention.start : mention.end]
+                    == by_id[mention.concept_id].phrase
+                )
+
+    def test_specific_concepts_in_fewer_pages(self, corpus):
+        documents, concepts = corpus
+        pages_with = {c.concept_id: 0 for c in concepts}
+        for document in documents:
+            for concept_id in {m.concept_id for m in document.mentions}:
+                pages_with[concept_id] += 1
+        regular = [c for c in concepts if not c.is_junk]
+        specific = [c for c in regular if c.specificity > 0.85]
+        general = [c for c in regular if c.specificity < 0.4]
+        if specific and general:
+            mean_specific = np.mean([pages_with[c.concept_id] for c in specific])
+            mean_general = np.mean([pages_with[c.concept_id] for c in general])
+            assert mean_general > mean_specific

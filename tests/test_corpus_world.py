@@ -1,0 +1,159 @@
+"""Tests for Wikipedia, dictionaries, and the assembled SyntheticWorld."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    EditorialDictionary,
+    SyntheticWorld,
+    Vocabulary,
+    WikipediaStore,
+    WorldConfig,
+    generate_concepts,
+    generate_topics,
+)
+
+SMALL = WorldConfig(
+    seed=3,
+    vocabulary_size=1200,
+    topic_count=8,
+    words_per_topic=40,
+    concept_count=150,
+    topic_page_count=80,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.build(SMALL)
+
+
+class TestWikipediaStore:
+    def test_generate_and_lookup(self, world):
+        wiki = world.wikipedia
+        assert len(wiki) > 0
+        covered = [c for c in world.concepts if c.phrase in wiki]
+        assert covered
+        for concept in covered[:10]:
+            assert wiki.word_count(concept.phrase) > 0
+            assert wiki.article(concept.phrase)
+
+    def test_absent_phrase(self, world):
+        assert world.wikipedia.word_count("definitely not a phrase") == 0
+        assert world.wikipedia.article("definitely not a phrase") is None
+
+    def test_junk_never_covered(self, world):
+        for concept in world.junk_concepts():
+            assert concept.phrase not in world.wikipedia
+
+    def test_interesting_concepts_longer_articles(self):
+        rng = np.random.default_rng(0)
+        vocab = Vocabulary.generate(rng, 800)
+        topics = generate_topics(rng, vocab, 4, 30)
+        concepts = generate_concepts(rng, topics, 400, junk_fraction=0.0)
+        wiki = WikipediaStore.generate(rng, concepts, topics, vocab)
+        dull = [
+            wiki.word_count(c.phrase)
+            for c in concepts
+            if c.interestingness < 0.2 and c.phrase in wiki
+        ]
+        hot = [
+            wiki.word_count(c.phrase)
+            for c in concepts
+            if c.interestingness > 0.6 and c.phrase in wiki
+        ]
+        assert hot and dull
+        assert np.mean(hot) > np.mean(dull)
+
+
+class TestEditorialDictionary:
+    def test_contains_named_entities(self, world):
+        for concept in world.named_entities()[:20]:
+            assert concept.phrase in world.dictionary
+            assert world.dictionary.high_level_type(concept.phrase) is not None
+
+    def test_abstract_concepts_absent(self, world):
+        abstract = [
+            c for c in world.concepts if not c.is_named_entity and not c.is_junk
+        ]
+        for concept in abstract[:20]:
+            assert concept.phrase not in world.dictionary
+
+    def test_lookup_unknown(self, world):
+        assert world.dictionary.lookup("nope nope") == []
+        assert world.dictionary.high_level_type("nope nope") is None
+
+    def test_places_have_geo(self, world):
+        for phrase in world.dictionary.phrases():
+            for entry in world.dictionary.lookup(phrase):
+                if entry.high_level_type == "place" and entry.geo is not None:
+                    lat, lon = entry.geo
+                    assert -90 <= lat <= 90
+                    assert -180 <= lon <= 180
+
+    def test_ambiguous_entries_exist(self):
+        rng = np.random.default_rng(1)
+        vocab = Vocabulary.generate(rng, 600)
+        topics = generate_topics(rng, vocab, 4, 30)
+        concepts = generate_concepts(
+            rng, topics, 300, named_entity_fraction=1.0, junk_fraction=0.0
+        )
+        dictionary = EditorialDictionary.generate(
+            rng, concepts, ambiguous_fraction=0.5
+        )
+        ambiguous = [p for p in dictionary.phrases() if dictionary.is_ambiguous(p)]
+        assert ambiguous
+
+
+class TestSyntheticWorld:
+    def test_build_shapes(self, world):
+        assert len(world.vocabulary) == SMALL.vocabulary_size
+        assert len(world.topics) == SMALL.topic_count
+        assert len(world.concepts) == SMALL.concept_count
+        assert len(world.web_corpus) > SMALL.topic_page_count
+
+    def test_df_table_covers_corpus(self, world):
+        assert world.doc_frequency.total_documents == len(world.web_corpus)
+        # every concept term should have been seen somewhere in the corpus
+        seen = sum(
+            1
+            for c in world.concepts
+            for t in c.terms
+            if world.doc_frequency.document_frequency(t) > 0
+        )
+        total = sum(len(c.terms) for c in world.concepts)
+        assert seen / total > 0.95
+
+    def test_concept_by_phrase(self, world):
+        concept = world.concepts[0]
+        assert world.concept_by_phrase(concept.phrase) is concept
+        assert world.concept_by_phrase(concept.phrase.upper()) is concept
+
+    def test_build_deterministic(self):
+        a = SyntheticWorld.build(SMALL)
+        b = SyntheticWorld.build(SMALL)
+        assert [c.phrase for c in a.concepts] == [c.phrase for c in b.concepts]
+        assert a.web_corpus[0].text == b.web_corpus[0].text
+
+    def test_different_seeds_differ(self):
+        other = SyntheticWorld.build(
+            WorldConfig(
+                seed=99,
+                vocabulary_size=SMALL.vocabulary_size,
+                topic_count=SMALL.topic_count,
+                words_per_topic=SMALL.words_per_topic,
+                concept_count=SMALL.concept_count,
+                topic_page_count=SMALL.topic_page_count,
+            )
+        )
+        base = SyntheticWorld.build(SMALL)
+        assert [c.phrase for c in other.concepts] != [c.phrase for c in base.concepts]
+
+    def test_story_generator_deterministic(self, world):
+        a = world.story_generator(seed=4).generate(0)
+        b = world.story_generator(seed=4).generate(0)
+        assert a.text == b.text
+
+    def test_named_and_junk_helpers(self, world):
+        assert all(c.is_named_entity for c in world.named_entities())
+        assert all(c.is_junk for c in world.junk_concepts())

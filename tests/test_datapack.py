@@ -1,0 +1,142 @@
+"""Tests for binary data-pack persistence."""
+
+import numpy as np
+import pytest
+
+from repro.features import RelevanceModel
+from repro.ranking import KERNEL_RBF, RankSVM
+from repro.runtime import (
+    GlobalTidTable,
+    PackedRelevanceStore,
+    QuantizedInterestingnessStore,
+    load_interestingness_store,
+    load_ranker,
+    load_relevance_store,
+    read_pack,
+    save_interestingness_store,
+    save_ranker,
+    save_relevance_store,
+    write_pack,
+)
+
+
+class TestPackContainer:
+    def test_round_trip_sections(self, tmp_path):
+        path = tmp_path / "x.rpak"
+        sections = {"a": b"hello", "b": b"", "kind": b"test"}
+        write_pack(path, sections)
+        assert read_pack(path) == sections
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.rpak"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="magic"):
+            read_pack(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "t.rpak"
+        write_pack(path, {"a": b"payload"})
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(ValueError, match="truncated"):
+            read_pack(path)
+
+    def test_unicode_section_names(self, tmp_path):
+        path = tmp_path / "u.rpak"
+        write_pack(path, {"naïve-ß": b"x"})
+        assert read_pack(path) == {"naïve-ß": b"x"}
+
+
+class TestInterestingnessStorePersistence:
+    def test_round_trip(self, tmp_path, env_world, env_extractor):
+        phrases = [c.phrase for c in env_world.concepts[:15]]
+        store = QuantizedInterestingnessStore.build(env_extractor, phrases)
+        path = tmp_path / "interest.rpak"
+        save_interestingness_store(store, path)
+        loaded = load_interestingness_store(path)
+        assert sorted(loaded.phrases()) == sorted(store.phrases())
+        for phrase in phrases:
+            assert loaded.extract(phrase) == store.extract(phrase)
+        assert loaded.memory_bytes() == store.memory_bytes()
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "wrong.rpak"
+        write_pack(path, {"kind": b"other"})
+        with pytest.raises(ValueError):
+            load_interestingness_store(path)
+
+
+class TestRelevanceStorePersistence:
+    def make_store(self):
+        model = RelevanceModel(
+            {
+                "global warming": (("climat", 50.0), ("carbon", 30.0)),
+                "stock market": (("trade", 42.0), ("carbon", 7.0)),
+            }
+        )
+        return PackedRelevanceStore.build(model, GlobalTidTable())
+
+    def test_round_trip_scores(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "rel.rpak"
+        save_relevance_store(store, path)
+        loaded = load_relevance_store(path)
+        for phrase in ("global warming", "stock market"):
+            text = "climat carbon trade today"
+            assert loaded.score_text(phrase, text) == pytest.approx(
+                store.score_text(phrase, text)
+            )
+        assert loaded.memory_bytes() == store.memory_bytes()
+        assert len(loaded.tid_table) == len(store.tid_table)
+
+    def test_tid_sharing_preserved(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "rel.rpak"
+        save_relevance_store(store, path)
+        loaded = load_relevance_store(path)
+        # 'carbon' is shared; total distinct terms is 3
+        assert len(loaded.tid_table) == 3
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "wrong.rpak"
+        write_pack(path, {"kind": b"interestingness"})
+        with pytest.raises(ValueError):
+            load_relevance_store(path)
+
+
+class TestRankerPersistence:
+    def fit_model(self, kernel="linear"):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(60, 4))
+        y = X @ np.array([1.0, -0.5, 0.2, 0.0])
+        g = np.repeat(np.arange(10), 6)
+        model = RankSVM(kernel=kernel, epochs=50, n_components=64)
+        model.fit(X, y, g)
+        return model, X
+
+    def test_linear_round_trip(self, tmp_path):
+        model, X = self.fit_model()
+        path = tmp_path / "model.rpak"
+        save_ranker(model, path)
+        loaded = load_ranker(path)
+        assert np.allclose(loaded.decision_function(X), model.decision_function(X))
+
+    def test_rbf_round_trip(self, tmp_path):
+        model, X = self.fit_model(kernel=KERNEL_RBF)
+        path = tmp_path / "model.rpak"
+        save_ranker(model, path)
+        loaded = load_ranker(path)
+        assert np.allclose(loaded.decision_function(X), model.decision_function(X))
+
+    def test_config_preserved(self, tmp_path):
+        model, __ = self.fit_model()
+        path = tmp_path / "model.rpak"
+        save_ranker(model, path)
+        loaded = load_ranker(path)
+        assert loaded.c == model.c
+        assert loaded.kernel == model.kernel
+        assert loaded.epochs == model.epochs
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ranker(RankSVM(), tmp_path / "x.rpak")

@@ -1,0 +1,57 @@
+"""Tests for detection accuracy evaluation."""
+
+import pytest
+
+from repro.eval import DetectionQuality, evaluate_detection
+
+
+class TestDetectionQualityMath:
+    def test_perfect(self):
+        quality = DetectionQuality(10, 0, 0, 5, 5)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+        assert quality.type_accuracy == 1.0
+
+    def test_mixed(self):
+        quality = DetectionQuality(8, 2, 2, 3, 4)
+        assert quality.precision == pytest.approx(0.8)
+        assert quality.recall == pytest.approx(0.8)
+        assert quality.f1 == pytest.approx(0.8)
+        assert quality.type_accuracy == pytest.approx(0.75)
+
+    def test_empty(self):
+        quality = DetectionQuality(0, 0, 0, 0, 0)
+        # vacuous-truth conventions: no mentions, nothing wrong
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+        assert quality.type_accuracy == 1.0
+
+
+class TestEvaluateDetection:
+    @pytest.fixture(scope="class")
+    def quality(self, env_world, env_pipeline, env_stories):
+        return evaluate_detection(env_world, env_pipeline, env_stories[:25])
+
+    def test_high_recall_on_detectable_mentions(self, quality):
+        assert quality.recall > 0.9
+
+    def test_high_precision(self, quality):
+        # concept terms are dedicated pseudo-words, so false positives
+        # come only from junk stopword phrases and chance dictionary hits
+        assert quality.precision > 0.8
+
+    def test_f1_consistent(self, quality):
+        p, r = quality.precision, quality.recall
+        assert quality.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_type_accuracy_high(self, quality):
+        # disambiguation only matters for ambiguous phrases (~5%)
+        assert quality.type_total > 0
+        assert quality.type_accuracy > 0.9
+
+    def test_counts_nonnegative(self, quality):
+        assert quality.true_positives >= 0
+        assert quality.false_positives >= 0
+        assert quality.false_negatives >= 0

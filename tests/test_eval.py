@@ -1,0 +1,205 @@
+"""Tests for the evaluation harness: environment, crossval, editorial,
+production.  Uses a compact environment so the whole module stays fast."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import WorldConfig
+from repro.eval import (
+    CONTENT_ANSWERS,
+    CONTENT_NEWS,
+    EditorialJudge,
+    Environment,
+    EnvironmentConfig,
+    JudgeConfig,
+    RankingExperiment,
+    collect_dataset,
+    production_ctr_experiment,
+    table2_summations,
+    table5_combined,
+    table6_editorial,
+    train_combined_ranker,
+)
+from repro.eval.editorial import NOT, SOMEWHAT, VERY
+from repro.features.relevance import RESOURCE_SNIPPETS
+
+EVAL_CONFIG = EnvironmentConfig(
+    world=WorldConfig(
+        seed=77,
+        vocabulary_size=1800,
+        topic_count=24,
+        words_per_topic=50,
+        concept_count=260,
+        topic_page_count=150,
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def eval_env():
+    return Environment.build(EVAL_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def dataset(eval_env):
+    return collect_dataset(eval_env, 180, story_seed=3)
+
+
+@pytest.fixture(scope="module")
+def experiment(eval_env, dataset):
+    return RankingExperiment(eval_env, dataset)
+
+
+class TestEnvironment:
+    def test_build_assembles_stack(self, eval_env):
+        assert eval_env.world.concepts
+        assert len(eval_env.query_log) > 0
+        assert len(eval_env.lexicon) > 0
+        assert eval_env.engine.document_count == len(eval_env.world.web_corpus)
+
+    def test_relevance_model_cached_and_extended(self, eval_env):
+        phrases = [c.phrase for c in eval_env.world.concepts[:3]]
+        first = eval_env.relevance_model(phrases, RESOURCE_SNIPPETS)
+        more = eval_env.relevance_model(
+            phrases + [eval_env.world.concepts[3].phrase], RESOURCE_SNIPPETS
+        )
+        assert len(more) >= len(first)
+        for phrase in phrases:
+            assert more.relevant_terms(phrase) == first.relevant_terms(phrase)
+
+    def test_stories_deterministic(self, eval_env):
+        a = eval_env.stories(3, seed=9)
+        b = eval_env.stories(3, seed=9)
+        assert [s.text for s in a] == [s.text for s in b]
+
+
+class TestCollectDataset:
+    def test_dataset_survives_filters(self, dataset):
+        assert dataset.story_count > 20
+        assert dataset.window_count >= dataset.story_count
+        assert dataset.entity_count > dataset.story_count * 2
+
+    def test_dataset_deterministic(self, eval_env):
+        a = collect_dataset(eval_env, 30, story_seed=4)
+        b = collect_dataset(eval_env, 30, story_seed=4)
+        assert a.story_count == b.story_count
+        assert a.total_clicks == b.total_clicks
+
+
+class TestRankingExperiment:
+    def test_random_near_half(self, experiment):
+        result = experiment.run_random()
+        assert 0.45 < result.weighted_error_rate < 0.55
+
+    def test_baseline_beats_random(self, experiment):
+        random = experiment.run_random()
+        baseline = experiment.run_concept_vector()
+        assert baseline.weighted_error_rate < random.weighted_error_rate - 0.05
+
+    def test_learned_beats_baseline(self, experiment):
+        baseline = experiment.run_concept_vector()
+        learned = experiment.run_model("all")
+        assert learned.weighted_error_rate < baseline.weighted_error_rate - 0.05
+
+    def test_combined_is_best(self, experiment):
+        learned = experiment.run_model("all")
+        combined = experiment.run_model(
+            "combined",
+            relevance_resource=RESOURCE_SNIPPETS,
+            tie_break_with_relevance=True,
+        )
+        assert combined.weighted_error_rate <= learned.weighted_error_rate
+
+    def test_ablation_changes_matrix_width(self, experiment):
+        full = experiment.feature_matrix()
+        ablated = experiment.feature_matrix(exclude_groups=("query_logs",))
+        assert ablated.shape[1] == full.shape[1] - 3
+
+    def test_relevance_scores_nonnegative(self, experiment):
+        scores = experiment.relevance_scores(RESOURCE_SNIPPETS)
+        assert (scores >= 0).all()
+        assert scores.max() > 0
+
+    def test_ndcg_ordering_consistent_with_error(self, experiment):
+        """Better WER should come with better NDCG@1 (Figures 1-3)."""
+        random = experiment.run_random()
+        learned = experiment.run_model("all")
+        assert learned.ndcg[1] > random.ndcg[1]
+        assert learned.ndcg[2] > random.ndcg[2]
+        assert learned.ndcg[3] > random.ndcg[3]
+
+    def test_result_row_formatting(self, experiment):
+        row = experiment.run_random().row()
+        assert "WER=" in row and "ndcg@1=" in row
+
+    def test_empty_dataset_rejected(self, eval_env):
+        from repro.clicks.dataset import ClickDataset
+
+        with pytest.raises(ValueError):
+            RankingExperiment(eval_env, ClickDataset(records=[], windows=[]))
+
+
+class TestTable2:
+    def test_specific_beats_junk(self, eval_env):
+        rows = table2_summations(eval_env)
+        specific = [r.summation for r in rows if r.kind == "specific"]
+        junk = [r.summation for r in rows if r.kind == "general/junk"]
+        assert specific and junk
+        assert np.mean(specific) > np.mean(junk)
+
+
+class TestEditorial:
+    def test_judge_grades_monotone(self):
+        judge = EditorialJudge(JudgeConfig(noise_sigma=0.0))
+        assert judge.judge_interestingness(0.9) == VERY
+        assert judge.judge_interestingness(0.3) == SOMEWHAT
+        assert judge.judge_interestingness(0.01) == NOT
+        assert judge.judge_relevance(0.9) == VERY
+        assert judge.judge_relevance(0.45) == SOMEWHAT
+        assert judge.judge_relevance(0.05) == NOT
+
+    def test_study_learned_beats_baseline(self, eval_env, experiment):
+        ranker = train_combined_ranker(eval_env, experiment)
+        results = table6_editorial(
+            eval_env, ranker, news_count=40, answers_count=60
+        )
+        for content in (CONTENT_NEWS, CONTENT_ANSWERS):
+            baseline = results["concept vector score"][content]
+            learned = results["ranking algorithm"][content]
+            # distributions sum to 1
+            assert sum(baseline.interestingness.values()) == pytest.approx(1.0)
+            assert sum(learned.relevance.values()) == pytest.approx(1.0)
+            # the learned ranker must cut the "not interesting/relevant" share
+            assert (
+                learned.not_interesting_or_relevant()
+                < baseline.not_interesting_or_relevant()
+            )
+
+
+class TestProduction:
+    def test_ctr_improves_views_drop(self, eval_env, experiment):
+        ranker = train_combined_ranker(eval_env, experiment)
+        comparison = production_ctr_experiment(
+            eval_env,
+            ranker,
+            annotate_top=3,
+            stories_per_week=12,
+            before_weeks=4,
+            after_weeks=3,
+        )
+        assert comparison.views_change_percent < -20.0
+        assert comparison.ctr_change_percent > 20.0
+        # clicks fall far less than views
+        assert abs(comparison.clicks_change_percent) < abs(
+            comparison.views_change_percent
+        )
+
+    def test_period_stats_math(self):
+        from repro.eval import PeriodStats, ProductionComparison
+
+        before = PeriodStats(weeks=2, views=2000, clicks=20)
+        after = PeriodStats(weeks=2, views=1000, clicks=19)
+        cmp = ProductionComparison(before, after)
+        assert cmp.views_change_percent == pytest.approx(-50.0)
+        assert cmp.clicks_change_percent == pytest.approx(-5.0)
+        assert cmp.ctr_change_percent == pytest.approx(90.0)

@@ -1,0 +1,127 @@
+"""Tests for evaluation extras: extra features, bucket ablation hooks,
+per-window scorer evaluation, and the temporal experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import WorldConfig
+from repro.detection import ConceptVectorScorer
+from repro.eval import (
+    Environment,
+    EnvironmentConfig,
+    RankingExperiment,
+    collect_dataset,
+    temporal_feature_experiment,
+)
+
+SMALL = EnvironmentConfig(
+    world=WorldConfig(
+        seed=99,
+        vocabulary_size=1500,
+        topic_count=18,
+        words_per_topic=45,
+        concept_count=160,
+        topic_page_count=100,
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def small_env():
+    return Environment.build(SMALL)
+
+
+@pytest.fixture(scope="module")
+def small_experiment(small_env):
+    dataset = collect_dataset(small_env, 120, story_seed=6)
+    return RankingExperiment(small_env, dataset)
+
+
+class TestExtraFeatures:
+    def test_extra_features_change_model(self, small_experiment):
+        base = small_experiment.run_model("base")
+        # an oracle extra feature: the label itself -> near-perfect model
+        oracle = small_experiment._labels_arr[:, None]
+        boosted = small_experiment.run_model("oracle", extra_features=oracle)
+        assert boosted.weighted_error_rate < base.weighted_error_rate
+
+    def test_misaligned_extra_rejected(self, small_experiment):
+        with pytest.raises(ValueError):
+            small_experiment.run_model(
+                "bad", extra_features=np.zeros((3, 1))
+            )
+
+    def test_phrases_property_aligned(self, small_experiment):
+        phrases = small_experiment.phrases
+        assert len(phrases) == small_experiment.entity_count
+        assert all(isinstance(p, str) for p in phrases)
+
+
+class TestBucketAndScorerHooks:
+    def test_ndcg_with_buckets_bounds(self, small_experiment):
+        scores = small_experiment.baseline_scores()
+        for buckets in (10, 100, 1000):
+            value = small_experiment.ndcg_with_buckets(scores, buckets, k=2)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    def test_baseline_scores_shape(self, small_experiment):
+        scores = small_experiment.baseline_scores()
+        assert scores.shape == (small_experiment.entity_count,)
+
+    def test_evaluate_per_window_scorer(self, small_env, small_experiment):
+        result = small_experiment.evaluate_per_window_scorer(
+            "recomputed baseline",
+            ConceptVectorScorer(
+                small_env.world.doc_frequency, small_env.lexicon
+            ),
+        )
+        assert 0.0 <= result.weighted_error_rate <= 1.0
+        # recomputed-on-window baseline should stay informative
+        assert result.weighted_error_rate < 0.5
+
+    def test_bonus_off_scorer_differs(self, small_env, small_experiment):
+        on = small_experiment.evaluate_per_window_scorer(
+            "on",
+            ConceptVectorScorer(
+                small_env.world.doc_frequency,
+                small_env.lexicon,
+                multi_term_bonus=True,
+            ),
+        )
+        off = small_experiment.evaluate_per_window_scorer(
+            "off",
+            ConceptVectorScorer(
+                small_env.world.doc_frequency,
+                small_env.lexicon,
+                multi_term_bonus=False,
+            ),
+        )
+        assert on.weighted_error_rate != off.weighted_error_rate
+
+
+class TestTemporalExperimentDriver:
+    def test_small_run_structure(self, small_env):
+        result = temporal_feature_experiment(
+            small_env,
+            weeks=3,
+            stories_per_week=15,
+            events_per_week=6.0,
+            folds=3,
+        )
+        assert result.entity_count > 0
+        assert 0.0 <= result.static_wer <= 1.0
+        assert 0.0 <= result.temporal_wer <= 1.0
+        assert 0.0 <= result.event_static_wer <= 1.0
+        # improvement properties are well-defined
+        assert isinstance(result.improvement_percent, float)
+        assert isinstance(result.event_improvement_percent, float)
+
+    def test_deterministic(self, small_env):
+        a = temporal_feature_experiment(
+            small_env, weeks=2, stories_per_week=10, folds=2, seed=5
+        )
+        b = temporal_feature_experiment(
+            small_env, weeks=2, stories_per_week=10, folds=2, seed=5
+        )
+        assert a.static_wer == b.static_wer
+        assert a.temporal_wer == b.temporal_wer

@@ -1,0 +1,75 @@
+"""Tests for backward feature elimination (the paper's selection process)."""
+
+import numpy as np
+import pytest
+
+from repro.features import backward_eliminate
+from repro.ranking import RankSVM
+
+
+def make_data(n_groups=30, per_group=5, seed=0, noise_features=3):
+    """Labels depend on two signal features; others are pure noise."""
+    rng = np.random.default_rng(seed)
+    X, y, g = [], [], []
+    for group in range(n_groups):
+        signal = rng.normal(size=(per_group, 2))
+        noise = rng.normal(size=(per_group, noise_features))
+        labels = signal @ np.array([1.0, -0.8]) + rng.normal(
+            scale=0.05, size=per_group
+        )
+        X.append(np.hstack([signal, noise]))
+        y.extend(labels)
+        g.extend([group] * per_group)
+    names = ["signal_a", "signal_b"] + [f"noise_{i}" for i in range(noise_features)]
+    return np.vstack(X), np.asarray(y), np.asarray(g), names
+
+
+class TestBackwardElimination:
+    def test_keeps_signal_features(self):
+        X, y, g, names = make_data()
+        result = backward_eliminate(
+            X, y, g, names, folds=3,
+            make_model=lambda: RankSVM(epochs=80),
+        )
+        assert "signal_a" in result.selected
+        assert "signal_b" in result.selected
+
+    def test_error_never_increases_along_trace(self):
+        X, y, g, names = make_data(seed=1)
+        result = backward_eliminate(X, y, g, names, folds=3)
+        errors = [step.weighted_error_rate for step in result.steps]
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_eliminated_plus_selected_is_everything(self):
+        X, y, g, names = make_data(seed=2)
+        result = backward_eliminate(X, y, g, names, folds=3)
+        assert sorted(result.eliminated + result.selected) == sorted(names)
+
+    def test_min_features_respected(self):
+        X, y, g, names = make_data(seed=3)
+        result = backward_eliminate(
+            X, y, g, names, folds=2, min_features=4,
+            # force aggressive elimination
+            min_improvement=-1.0,
+        )
+        assert len(result.selected) >= 4
+
+    def test_misaligned_names_rejected(self):
+        X, y, g, names = make_data()
+        with pytest.raises(ValueError):
+            backward_eliminate(X, y, g, names[:-1])
+
+    def test_deterministic(self):
+        X, y, g, names = make_data(seed=4)
+        a = backward_eliminate(X, y, g, names, folds=3)
+        b = backward_eliminate(X, y, g, names, folds=3)
+        assert a.selected == b.selected
+        assert a.final_error == b.final_error
+
+    def test_empty_result_defaults(self):
+        from repro.features import SelectionResult
+
+        result = SelectionResult()
+        assert result.selected == ()
+        assert result.eliminated == ()
+        assert result.final_error == 1.0

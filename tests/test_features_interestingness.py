@@ -1,0 +1,156 @@
+"""Tests for the Table I interestingness feature space."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.concepts import TAXONOMY_TYPES
+from repro.features import (
+    FEATURE_GROUPS,
+    FEATURE_NAMES,
+    numeric_feature_names,
+)
+
+
+class TestFeatureInventory:
+    def test_nine_features(self):
+        assert len(FEATURE_NAMES) == 9
+
+    def test_groups_partition_features(self):
+        grouped = [name for group in FEATURE_GROUPS.values() for name in group]
+        assert sorted(grouped) == sorted(FEATURE_NAMES)
+
+    def test_paper_group_names(self):
+        assert set(FEATURE_GROUPS) == {
+            "query_logs",
+            "search_results",
+            "text_based",
+            "taxonomy",
+            "other",
+        }
+
+
+class TestExtraction:
+    def test_extract_known_concept(self, env_world, env_extractor, env_log):
+        concept = max(
+            (c for c in env_world.concepts if not c.is_junk),
+            key=lambda c: env_log.freq_exact(c.terms),
+        )
+        vector = env_extractor.extract(concept.phrase)
+        assert vector.freq_exact == env_log.freq_exact(concept.terms)
+        assert vector.freq_phrase_contained >= vector.freq_exact
+        assert vector.concept_size == len(concept.terms)
+        assert vector.number_of_chars == len(concept.phrase)
+
+    def test_named_entity_gets_type(self, env_world, env_extractor):
+        named = env_world.named_entities()[0]
+        vector = env_extractor.extract(named.phrase)
+        assert vector.high_level_type == named.taxonomy_type
+
+    def test_abstract_concept_has_no_type(self, env_world, env_extractor):
+        abstract = next(
+            c
+            for c in env_world.concepts
+            if not c.is_named_entity and not c.is_junk
+        )
+        vector = env_extractor.extract(abstract.phrase)
+        assert vector.high_level_type is None
+
+    def test_wiki_count_matches_store(self, env_world, env_extractor):
+        concept = next(
+            c for c in env_world.concepts if c.phrase in env_world.wikipedia
+        )
+        vector = env_extractor.extract(concept.phrase)
+        assert vector.wiki_word_count == env_world.wikipedia.word_count(
+            concept.phrase
+        )
+
+    def test_unknown_phrase_all_low(self, env_extractor):
+        vector = env_extractor.extract("zzzzz qqqqq")
+        assert vector.freq_exact == 0
+        assert vector.searchengine_phrase == 0
+        assert vector.wiki_word_count == 0
+        assert vector.unit_score == 0.0
+
+    def test_interesting_concepts_have_stronger_query_features(
+        self, env_world, env_extractor
+    ):
+        regular = [c for c in env_world.concepts if not c.is_junk]
+        hot = [c for c in regular if c.interestingness > 0.6]
+        dull = [c for c in regular if c.interestingness < 0.1]
+        assert hot and dull
+        hot_freq = np.mean(
+            [env_extractor.extract(c.phrase).freq_exact for c in hot]
+        )
+        dull_freq = np.mean(
+            [env_extractor.extract(c.phrase).freq_exact for c in dull]
+        )
+        assert hot_freq > dull_freq
+
+    def test_extract_many(self, env_world, env_extractor):
+        phrases = [c.phrase for c in env_world.concepts[:5]]
+        vectors = env_extractor.extract_many(phrases)
+        assert [v.phrase for v in vectors] == [p.lower() for p in phrases]
+
+
+class TestNumericEncoding:
+    def test_full_width(self, env_world, env_extractor):
+        vector = env_extractor.extract(env_world.concepts[0].phrase)
+        numeric = vector.numeric()
+        # 8 numeric features + one-hot(len(types)+1)
+        assert numeric.shape == (8 + len(TAXONOMY_TYPES) + 1,)
+        assert numeric.shape[0] == len(numeric_feature_names())
+
+    def test_one_hot_exactly_one(self, env_world, env_extractor):
+        vector = env_extractor.extract(env_world.concepts[0].phrase)
+        names = numeric_feature_names()
+        numeric = vector.numeric()
+        one_hot = [
+            value
+            for name, value in zip(names, numeric)
+            if name.startswith("type:")
+        ]
+        assert sum(one_hot) == pytest.approx(1.0)
+
+    def test_exclude_group_drops_columns(self, env_world, env_extractor):
+        vector = env_extractor.extract(env_world.concepts[0].phrase)
+        full = vector.numeric()
+        without_logs = vector.numeric(exclude_groups=["query_logs"])
+        assert without_logs.shape[0] == full.shape[0] - 3
+        assert len(numeric_feature_names(["query_logs"])) == without_logs.shape[0]
+
+    def test_exclude_taxonomy_drops_one_hot(self, env_world, env_extractor):
+        vector = env_extractor.extract(env_world.concepts[0].phrase)
+        without = vector.numeric(exclude_groups=["taxonomy"])
+        assert without.shape[0] == 8
+
+    def test_counts_log_compressed(self, env_world, env_extractor, env_log):
+        concept = max(
+            (c for c in env_world.concepts),
+            key=lambda c: env_log.freq_exact(c.terms),
+        )
+        vector = env_extractor.extract(concept.phrase)
+        numeric = vector.numeric()
+        names = numeric_feature_names()
+        freq_col = names.index("freq_exact")
+        assert numeric[freq_col] == pytest.approx(np.log1p(vector.freq_exact))
+
+
+class TestSubconcepts:
+    def test_subconcepts_counted_for_trigrams(self, env_extractor, env_lexicon):
+        trigram_units = [
+            u for u in env_lexicon.multi_term_units() if len(u.terms) == 3
+        ]
+        if not trigram_units:
+            pytest.skip("no trigram units in this seed")
+        # a trigram whose bigram prefix is also a strong unit
+        for unit in trigram_units:
+            prefix = unit.terms[:2]
+            if env_lexicon.score(prefix) > 0.25:
+                vector = env_extractor.extract(" ".join(unit.terms))
+                assert vector.subconcepts >= 1
+                return
+        pytest.skip("no strong bigram sub-unit found")
+
+    def test_single_term_has_no_subconcepts(self, env_world, env_extractor):
+        single = next(c for c in env_world.concepts if len(c.terms) == 1)
+        assert env_extractor.extract(single.phrase).subconcepts == 0

@@ -1,0 +1,230 @@
+"""Cross-module integration tests and failure injection.
+
+These exercise whole-system paths that unit tests cannot: end-to-end
+determinism, live-vs-quantized feature agreement, the runtime service
+against the offline ranker, and degenerate configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clicks import ClickDataset
+from repro.corpus import SyntheticWorld, WorldConfig
+from repro.detection import ConceptVectorScorer
+from repro.eval import (
+    Environment,
+    EnvironmentConfig,
+    RankingExperiment,
+    collect_dataset,
+    train_combined_ranker,
+)
+from repro.features import RelevanceModel, RelevanceScorer
+from repro.ranking import FeatureAssembler, RankSVM
+from repro.runtime import (
+    PackedRelevanceStore,
+    QuantizedInterestingnessStore,
+    RankerService,
+)
+
+
+class TestEndToEndDeterminism:
+    def test_full_stack_reproducible(self):
+        config = EnvironmentConfig(
+            world=WorldConfig(
+                seed=5,
+                vocabulary_size=900,
+                topic_count=8,
+                words_per_topic=40,
+                concept_count=80,
+                topic_page_count=50,
+            )
+        )
+        first = Environment.build(config)
+        second = Environment.build(config)
+        story_a = first.stories(1, seed=3)[0]
+        story_b = second.stories(1, seed=3)[0]
+        assert story_a.text == story_b.text
+        ranked_a = first.pipeline.process(story_a.text).by_concept_vector_score()
+        ranked_b = second.pipeline.process(story_b.text).by_concept_vector_score()
+        assert [d.phrase for d in ranked_a] == [d.phrase for d in ranked_b]
+        assert [d.score for d in ranked_a] == [d.score for d in ranked_b]
+
+
+class TestQuantizedVsLiveFeatures:
+    def test_ranking_mostly_agrees(self, env_world, env_extractor, env_stories):
+        """Ranking from the 2-byte store must track the live extractor."""
+        phrases = [c.phrase for c in env_world.concepts]
+        store = QuantizedInterestingnessStore.build(env_extractor, phrases)
+        sample = phrases[:40]
+        live = np.vstack([env_extractor.extract(p).numeric() for p in sample])
+        stored = np.vstack([store.extract(p).numeric() for p in sample])
+        # log-scale counts: quantization error must be small
+        assert np.abs(live - stored).max() < 0.1
+
+
+class TestRuntimeVsOfflineRanker:
+    def test_service_agrees_with_offline_assembler(
+        self, env_world, env_extractor, env_miner, env_pipeline, env_stories
+    ):
+        phrases = [c.phrase for c in env_world.concepts]
+        store = QuantizedInterestingnessStore.build(env_extractor, phrases)
+        model = RelevanceModel.mine_all(env_miner, phrases[:60])
+        packed = PackedRelevanceStore.build(model)
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 16))
+        svm = RankSVM(epochs=40)
+        svm.fit(X, X[:, 0], np.repeat(np.arange(10), 6))
+
+        service = RankerService(env_pipeline, store, packed, svm)
+        from repro.ranking import ConceptRanker
+
+        offline = ConceptRanker(
+            FeatureAssembler(
+                extractor=env_extractor,
+                relevance_scorer=RelevanceScorer(model),
+            ),
+            svm,
+        )
+        story = env_stories[0]
+        runtime_ranked = [d.phrase for d in service.process(story.text)]
+        annotated = env_pipeline.process(story.text)
+        known = [d for d in annotated.rankable() if d.phrase in store]
+        pruned = annotated.__class__(text=annotated.text, detections=known)
+        offline_ranked = [d.phrase for d in offline.rank_document(pruned)]
+        # quantization may swap near-ties; the top item must agree
+        assert runtime_ranked[:1] == offline_ranked[:1]
+        assert set(runtime_ranked) == set(offline_ranked)
+
+
+class TestDegenerateConfigurations:
+    def test_tiny_world_builds(self):
+        world = SyntheticWorld.build(
+            WorldConfig(
+                seed=1,
+                vocabulary_size=300,
+                topic_count=2,
+                words_per_topic=20,
+                concept_count=10,
+                junk_fraction=0.0,
+                topic_page_count=10,
+            )
+        )
+        assert len(world.concepts) == 10
+        assert world.junk_concepts() == []
+
+    def test_pipeline_on_empty_text(self, env_pipeline):
+        annotated = env_pipeline.process("")
+        assert annotated.detections == []
+        assert annotated.rankable() == []
+        assert annotated.annotate() == ""
+
+    def test_pipeline_on_stopword_text(self, env_pipeline):
+        annotated = env_pipeline.process("the and with from about")
+        assert all(d.kind != "named" for d in annotated.detections)
+
+    def test_concept_vector_on_unknown_text(self, env_world, env_lexicon):
+        scorer = ConceptVectorScorer(env_world.doc_frequency, env_lexicon)
+        vector = scorer.concept_vector("zzz qqq unknownwords")
+        # unknown terms still get idf-backed scores, never crash
+        assert len(vector) >= 0
+
+    def test_experiment_single_window(self, env_world):
+        from repro.clicks.dataset import Window
+        from repro.clicks.tracking import EntityObservation, StoryClickRecord
+
+        entities = [
+            EntityObservation(
+                phrase=env_world.concepts[i].phrase,
+                concept_id=i,
+                entity_type=None,
+                position=i * 10,
+                baseline_score=float(i),
+                views=100,
+                clicks=10 - i,
+            )
+            for i in range(3)
+        ]
+        record = StoryClickRecord(
+            story_id=0, text="x" * 200, views=100, entities=entities
+        )
+        dataset = ClickDataset(
+            records=[record],
+            windows=[
+                Window(
+                    window_id=0,
+                    story_id=0,
+                    text="x" * 200,
+                    char_start=0,
+                    entities=entities,
+                )
+            ],
+        )
+        env = _env_stub(env_world)
+        experiment = RankingExperiment(env, dataset, folds=2)
+        result = experiment.run_concept_vector()
+        assert 0.0 <= result.weighted_error_rate <= 1.0
+
+
+def _env_stub(world):
+    """A minimal object with the attributes RankingExperiment touches."""
+
+    class _Extractor:
+        def extract(self, phrase):
+            from repro.features.interestingness import InterestingnessVector
+
+            return InterestingnessVector(
+                phrase=phrase,
+                freq_exact=1,
+                freq_phrase_contained=2,
+                unit_score=0.5,
+                searchengine_phrase=3,
+                concept_size=len(phrase.split()),
+                number_of_chars=len(phrase),
+                subconcepts=0,
+                high_level_type=None,
+                wiki_word_count=0,
+            )
+
+    class _Stub:
+        extractor = _Extractor()
+
+        def relevance_model(self, phrases, resource="snippets"):
+            return RelevanceModel({p: () for p in phrases})
+
+    return _Stub()
+
+
+class TestTrainedRankerOnFreshStories:
+    def test_generalization_to_unseen_stories(self, env_world):
+        """Train on one story stream, verify quality gain on another."""
+        config = EnvironmentConfig(world=env_world.config)
+        env = Environment.build(config)
+        dataset = collect_dataset(env, 120, story_seed=2)
+        experiment = RankingExperiment(env, dataset)
+        ranker = train_combined_ranker(env, experiment)
+
+        fresh = env.stories(15, seed=4321)
+        gains = []
+        for story in fresh:
+            annotated = env.pipeline.process(story.text)
+            known = {c.phrase.lower() for c in env.world.concepts}
+            base = [
+                d.phrase
+                for d in annotated.by_concept_vector_score()
+                if d.phrase in known
+            ][:3]
+            learned = [d.phrase for d in ranker.rank_document(annotated)[:3]]
+
+            def quality(phrases):
+                values = []
+                for phrase in phrases:
+                    concept = env.world.concept_by_phrase(phrase)
+                    values.append(
+                        concept.interestingness
+                        * max(story.relevance_of(concept.concept_id), 0.05)
+                    )
+                return float(np.mean(values)) if values else 0.0
+
+            gains.append(quality(learned) - quality(base))
+        assert float(np.mean(gains)) > 0.0

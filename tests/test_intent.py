@@ -1,0 +1,117 @@
+"""Tests for query-intent classification (Broder taxonomy extension)."""
+
+import pytest
+
+from repro.querylog import (
+    INTENT_INFORMATIONAL,
+    INTENT_NAVIGATIONAL,
+    INTENT_TRANSACTIONAL,
+    INTENTS,
+    IntentClassifier,
+    IntentProfile,
+    QueryLog,
+    classify_query,
+)
+
+
+class TestClassifyQuery:
+    def test_transactional(self):
+        assert classify_query(["buy", "jaguar"]) == INTENT_TRANSACTIONAL
+        assert classify_query(["jaguar", "price"]) == INTENT_TRANSACTIONAL
+
+    def test_navigational(self):
+        assert classify_query(["jaguar", "official", "site"]) == INTENT_NAVIGATIONAL
+        assert classify_query(["www", "jaguar"]) == INTENT_NAVIGATIONAL
+
+    def test_informational_marked(self):
+        assert classify_query(["what", "is", "jaguar"]) == INTENT_INFORMATIONAL
+        assert classify_query(["jaguar", "history"]) == INTENT_INFORMATIONAL
+
+    def test_unmarked_defaults_informational(self):
+        assert classify_query(["jaguar", "speed"]) == INTENT_INFORMATIONAL
+
+    def test_transactional_beats_navigational(self):
+        assert classify_query(["buy", "www", "jaguar"]) == INTENT_TRANSACTIONAL
+
+    def test_case_insensitive(self):
+        assert classify_query(["BUY", "Jaguar"]) == INTENT_TRANSACTIONAL
+
+
+class TestIntentProfile:
+    def make(self):
+        return IntentProfile(
+            phrase="jaguar",
+            volume={
+                INTENT_NAVIGATIONAL: 10,
+                INTENT_TRANSACTIONAL: 30,
+                INTENT_INFORMATIONAL: 60,
+            },
+        )
+
+    def test_fractions(self):
+        profile = self.make()
+        assert profile.fraction(INTENT_TRANSACTIONAL) == pytest.approx(0.3)
+        assert sum(profile.fraction(i) for i in INTENTS) == pytest.approx(1.0)
+
+    def test_dominant(self):
+        assert self.make().dominant() == INTENT_INFORMATIONAL
+
+    def test_empty_profile(self):
+        profile = IntentProfile("x", {i: 0 for i in INTENTS})
+        assert profile.fraction(INTENT_NAVIGATIONAL) == 0.0
+        assert profile.dominant() == INTENT_INFORMATIONAL
+
+    def test_unknown_intent_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().fraction("curious")
+
+
+class TestIntentClassifier:
+    def test_profile_from_log(self):
+        log = QueryLog.from_strings(
+            {
+                "buy jaguar": 20,
+                "jaguar price": 10,
+                "jaguar official site": 5,
+                "jaguar habitat": 65,
+            }
+        )
+        classifier = IntentClassifier(log)
+        profile = classifier.profile(("jaguar",))
+        assert profile.volume[INTENT_TRANSACTIONAL] == 30
+        assert profile.volume[INTENT_NAVIGATIONAL] == 5
+        assert profile.volume[INTENT_INFORMATIONAL] == 65
+
+    def test_intent_features_sum_to_one(self):
+        log = QueryLog.from_strings({"buy x": 1, "x facts": 3})
+        nav, trans, info = IntentClassifier(log).intent_features(("x",))
+        assert nav + trans + info == pytest.approx(1.0)
+        assert trans == pytest.approx(0.25)
+
+    def test_unseen_phrase_zero_profile(self):
+        classifier = IntentClassifier(QueryLog.from_strings({"a": 1}))
+        assert classifier.profile(("unseen",)).total == 0
+
+    def test_products_skew_transactional_in_world(self, env_world, env_log):
+        """The generator's type-conditioned markers must be recoverable."""
+        classifier = IntentClassifier(env_log)
+        products = [
+            c for c in env_world.concepts if c.taxonomy_type == "product"
+        ]
+        animals = [
+            c for c in env_world.concepts if c.taxonomy_type == "animal"
+        ]
+        if not products or not animals:
+            pytest.skip("seed lacks products or animals")
+
+        def mean_fraction(concepts, intent):
+            values = []
+            for concept in concepts:
+                profile = classifier.profile(tuple(concept.terms))
+                if profile.total > 0:
+                    values.append(profile.fraction(intent))
+            return sum(values) / len(values) if values else 0.0
+
+        assert mean_fraction(products, INTENT_TRANSACTIONAL) > mean_fraction(
+            animals, INTENT_TRANSACTIONAL
+        )

@@ -1,0 +1,128 @@
+"""Property-based invariants of the metrics and ranking layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import ndcg_at_k, pairwise_errors
+from repro.ranking import RankSVM, build_pairs
+
+
+def monotone_transform(scores, shift, scale):
+    return np.asarray(scores) * scale + shift
+
+
+labels_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=0.5), min_size=2, max_size=8
+)
+scores_strategy = st.lists(
+    st.floats(min_value=-5.0, max_value=5.0), min_size=2, max_size=8
+)
+
+
+class TestMetricInvariance:
+    @given(labels_strategy, scores_strategy, st.floats(0.1, 10.0),
+           st.floats(-3.0, 3.0))
+    @settings(max_examples=50)
+    def test_wer_invariant_under_monotone_transform(
+        self, labels, scores, scale, shift
+    ):
+        size = min(len(labels), len(scores))
+        labels, scores = labels[:size], scores[:size]
+        transformed_scores = monotone_transform(scores, shift, scale)
+        # float precision can merge near-equal scores into ties; the
+        # invariant only holds when tie structure is preserved
+        if len(set(np.asarray(scores).tolist())) != len(
+            set(transformed_scores.tolist())
+        ):
+            return
+        base = pairwise_errors(labels, scores).weighted_error_rate
+        transformed = pairwise_errors(labels, transformed_scores).weighted_error_rate
+        assert base == pytest.approx(transformed)
+
+    @given(labels_strategy, scores_strategy, st.floats(0.1, 10.0),
+           st.integers(1, 5))
+    @settings(max_examples=50)
+    def test_ndcg_invariant_under_positive_scaling(
+        self, labels, scores, scale, k
+    ):
+        size = min(len(labels), len(scores))
+        labels = np.asarray(labels[:size]) * 10
+        scores = np.asarray(scores[:size])
+        base = ndcg_at_k(labels, scores, k)
+        scaled = ndcg_at_k(labels, scores * scale, k)
+        assert base == pytest.approx(scaled)
+
+    @given(labels_strategy, scores_strategy)
+    @settings(max_examples=50)
+    def test_wer_reversal_complements(self, labels, scores):
+        """Reversing a tie-free ranking flips mistakes to 1 - WER."""
+        size = min(len(labels), len(scores))
+        labels = labels[:size]
+        scores = np.asarray(scores[:size])
+        if len(set(scores.tolist())) != len(scores):
+            return  # predicted ties break the complement identity
+        errors = pairwise_errors(labels, scores)
+        if errors.total_pairs == 0:
+            return
+        reversed_errors = pairwise_errors(labels, -scores)
+        total = (
+            errors.weighted_error_rate + reversed_errors.weighted_error_rate
+        )
+        assert total == pytest.approx(1.0)
+
+    @given(labels_strategy)
+    @settings(max_examples=50)
+    def test_perfect_ranking_zero_error_full_ndcg(self, labels):
+        labels = np.asarray(labels)
+        scores = labels.copy()
+        errors = pairwise_errors(labels, scores)
+        assert errors.weighted_error_rate == 0.0
+        assert ndcg_at_k(labels * 10, scores, len(labels)) == pytest.approx(1.0)
+
+
+class TestRankSvmProperties:
+    @given(st.integers(0, 2**31 - 1), st.floats(0.1, 5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_decision_order_invariant_to_feature_scaling(self, seed, scale):
+        """Standardization makes the learned ordering scale-invariant."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(48, 4))
+        w = rng.normal(size=4)
+        y = X @ w
+        g = np.repeat(np.arange(8), 6)
+        base = RankSVM(epochs=60).fit(X, y, g)
+        scaled = RankSVM(epochs=60).fit(X * scale, y, g)
+        base_order = np.argsort(-base.decision_function(X[:12]))
+        scaled_order = np.argsort(-scaled.decision_function(X[:12] * scale))
+        assert (base_order == scaled_order).all()
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_pair_count_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 30))
+        X = rng.normal(size=(n, 3))
+        labels = rng.random(n)
+        groups = rng.integers(0, 3, n)
+        pairs = build_pairs(X, labels, groups, max_pairs_per_group=10)
+        assert pairs.count <= 30  # 3 groups x cap
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_pairwise_accuracy_complement_of_error(self, seed):
+        """pairwise_accuracy == 1 - unweighted error rate (no ties)."""
+        from repro.metrics import grouped_errors
+
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(24, 3))
+        y = rng.random(24)
+        g = np.repeat(np.arange(4), 6)
+        model = RankSVM(epochs=40).fit(X, y, g)
+        scores = model.decision_function(X)
+        if len(set(scores.tolist())) != len(scores):
+            return
+        accuracy = model.pairwise_accuracy(X, y, g)
+        errors = grouped_errors(y, scores, g)
+        assert accuracy == pytest.approx(1.0 - errors.error_rate)

@@ -1,0 +1,202 @@
+"""Tests for error rates and NDCG — including the paper's worked examples.
+
+The paper (Section V-A.2) works through a four-concept example with
+perfect ordering [A, B, C, D], CTRs [(A, 0.15), (B, 0.05), (C, 0.02),
+(D, 0.01)], and two predicted rankings R1 = [A, B, D, C] and
+R2 = [B, A, C, D].  It reports:
+
+* plain error rate: 16.67% for both R1 and R2;
+* weighted error rate: 2.22% for R1 and 22.22% for R2;
+* with score(j) = CTR(j) * 10: ndcg@1 = 1.0 / 0.23, ndcg@2 = 1.0 / 0.75,
+  ndcg@3 = 0.98 / 0.76 for R1 / R2 respectively.
+
+These values pin the metric implementations exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    CTRBucketizer,
+    error_rate,
+    grouped_errors,
+    mean_ndcg,
+    ndcg_at_k,
+    pairwise_errors,
+    weighted_error_rate,
+)
+
+# labels = CTRs of A, B, C, D
+CTRS = np.array([0.15, 0.05, 0.02, 0.01])
+# predicted scores inducing R1 = [A, B, D, C]
+R1_SCORES = np.array([4.0, 3.0, 1.0, 2.0])
+# predicted scores inducing R2 = [B, A, C, D]
+R2_SCORES = np.array([3.0, 4.0, 2.0, 1.0])
+
+
+class TestPaperErrorRateExamples:
+    def test_r1_plain_error_rate(self):
+        assert error_rate(CTRS, R1_SCORES) == pytest.approx(1 / 6)
+
+    def test_r2_plain_error_rate(self):
+        assert error_rate(CTRS, R2_SCORES) == pytest.approx(1 / 6)
+
+    def test_r1_weighted_error_rate(self):
+        assert weighted_error_rate(CTRS, R1_SCORES) == pytest.approx(
+            0.0222, abs=1e-3
+        )
+
+    def test_r2_weighted_error_rate(self):
+        assert weighted_error_rate(CTRS, R2_SCORES) == pytest.approx(
+            0.2222, abs=1e-3
+        )
+
+
+class TestPaperNdcgExamples:
+    """The paper simplifies with score(j) = CTR(j) * 10 for this example."""
+
+    JUDGMENTS = CTRS * 10
+
+    def test_r1_ndcg_at_1(self):
+        assert ndcg_at_k(self.JUDGMENTS, R1_SCORES, 1) == pytest.approx(1.0)
+
+    def test_r2_ndcg_at_1(self):
+        assert ndcg_at_k(self.JUDGMENTS, R2_SCORES, 1) == pytest.approx(
+            0.23, abs=0.005
+        )
+
+    def test_r1_ndcg_at_2(self):
+        assert ndcg_at_k(self.JUDGMENTS, R1_SCORES, 2) == pytest.approx(1.0)
+
+    def test_r2_ndcg_at_2(self):
+        assert ndcg_at_k(self.JUDGMENTS, R2_SCORES, 2) == pytest.approx(
+            0.75, abs=0.005
+        )
+
+    def test_r1_ndcg_at_3(self):
+        assert ndcg_at_k(self.JUDGMENTS, R1_SCORES, 3) == pytest.approx(
+            0.98, abs=0.005
+        )
+
+    def test_r2_ndcg_at_3(self):
+        assert ndcg_at_k(self.JUDGMENTS, R2_SCORES, 3) == pytest.approx(
+            0.76, abs=0.005
+        )
+
+
+class TestErrorRateMechanics:
+    def test_perfect_ranking_zero(self):
+        assert weighted_error_rate(CTRS, np.array([4.0, 3.0, 2.0, 1.0])) == 0.0
+
+    def test_reversed_ranking_one(self):
+        assert weighted_error_rate(CTRS, np.array([1.0, 2.0, 3.0, 4.0])) == 1.0
+
+    def test_tied_predictions_half_mistake(self):
+        errors = pairwise_errors([0.2, 0.1], [1.0, 1.0])
+        assert errors.error_rate == pytest.approx(0.5)
+
+    def test_tied_labels_not_counted(self):
+        errors = pairwise_errors([0.1, 0.1], [1.0, 2.0])
+        assert errors.total_pairs == 0
+        assert errors.error_rate == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_errors([0.1], [1.0, 2.0])
+
+    def test_grouped_accumulation(self):
+        labels = [0.2, 0.1, 0.2, 0.1]
+        # group 0 correct, group 1 wrong
+        predicted = [2.0, 1.0, 1.0, 2.0]
+        groups = [0, 0, 1, 1]
+        errors = grouped_errors(labels, predicted, groups)
+        assert errors.error_rate == pytest.approx(0.5)
+
+    def test_addition_identity(self):
+        from repro.metrics import EMPTY_ERRORS
+
+        errors = pairwise_errors(CTRS, R1_SCORES)
+        combined = EMPTY_ERRORS + errors
+        assert combined.weighted_error_rate == errors.weighted_error_rate
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=2, max_size=8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40)
+    def test_random_ranking_expected_half(self, labels, seed):
+        """Error rate of a random ranking averages ~50% over many draws."""
+        labels = np.asarray(labels)
+        if np.unique(labels).size < 2:
+            return
+        rng = np.random.default_rng(seed)
+        rates = [
+            pairwise_errors(labels, rng.random(labels.size)).error_rate
+            for __ in range(60)
+        ]
+        assert abs(float(np.mean(rates)) - 0.5) < 0.25
+
+    @given(st.lists(st.floats(0, 1), min_size=2, max_size=10))
+    @settings(max_examples=30)
+    def test_error_rate_bounds(self, labels):
+        labels = np.asarray(labels)
+        predicted = np.arange(labels.size, dtype=float)
+        errors = pairwise_errors(labels, predicted)
+        assert 0.0 <= errors.error_rate <= 1.0
+        assert 0.0 <= errors.weighted_error_rate <= 1.0
+
+
+class TestBucketizer:
+    def test_monotone(self):
+        bucketizer = CTRBucketizer().fit(np.linspace(0, 0.2, 500))
+        assert bucketizer.bucket(0.0) <= bucketizer.bucket(0.1) <= bucketizer.bucket(0.2)
+
+    def test_range(self):
+        bucketizer = CTRBucketizer().fit(np.linspace(0, 0.2, 500))
+        assert bucketizer.bucket(-1.0) == 0
+        assert bucketizer.bucket(1.0) == 1000
+
+    def test_judgment_scale(self):
+        bucketizer = CTRBucketizer().fit(np.linspace(0, 0.2, 500))
+        assert 0.0 <= bucketizer.judgment(0.13) <= 10.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CTRBucketizer().bucket(0.5)
+
+    def test_quantile_semantics(self):
+        # half the population below 0.1 -> bucket ~500
+        population = [0.05] * 500 + [0.15] * 500
+        bucketizer = CTRBucketizer().fit(population)
+        assert bucketizer.bucket(0.1) == pytest.approx(500, abs=10)
+
+
+class TestNdcgMechanics:
+    def test_perfect_is_one(self):
+        judgments = np.array([3.0, 2.0, 1.0])
+        assert ndcg_at_k(judgments, np.array([9.0, 5.0, 1.0]), 3) == pytest.approx(1.0)
+
+    def test_all_zero_judgments(self):
+        assert ndcg_at_k(np.zeros(3), np.array([1.0, 2.0, 3.0]), 2) == 1.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            judgments = rng.random(5) * 10
+            predicted = rng.random(5)
+            value = ndcg_at_k(judgments, predicted, 3)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    def test_mean_ndcg_groups(self):
+        judgments = [3.0, 1.0, 3.0, 1.0]
+        predicted = [2.0, 1.0, 1.0, 2.0]  # group 0 perfect, group 1 inverted
+        groups = [0, 0, 1, 1]
+        value = mean_ndcg(judgments, predicted, groups, k=1)
+        per_group_bad = (2**1.0 - 1) / (2**3.0 - 1)
+        assert value == pytest.approx((1.0 + per_group_bad) / 2)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([1.0], [1.0, 2.0], 1)

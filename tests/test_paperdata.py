@@ -1,0 +1,105 @@
+"""Cross-checks between the paper's reported numbers and our metrics.
+
+The constants in ``repro.paperdata`` are transcriptions; these tests
+verify they are internally consistent with the paper's own worked
+examples and with our metric implementations — catching transcription
+errors and metric drift in one place.
+"""
+
+import numpy as np
+import pytest
+
+from repro import paperdata
+from repro.metrics import error_rate, ndcg_at_k, weighted_error_rate
+
+
+R1_SCORES = np.array([4.0, 3.0, 1.0, 2.0])  # [A, B, D, C]
+R2_SCORES = np.array([3.0, 4.0, 2.0, 1.0])  # [B, A, C, D]
+
+
+class TestWorkedExampleConsistency:
+    def test_error_rates_match_constants(self):
+        ctrs = np.asarray(paperdata.WORKED_EXAMPLE["ctrs"])
+        assert error_rate(ctrs, R1_SCORES) == pytest.approx(
+            paperdata.WORKED_EXAMPLE["r1_error_rate"]
+        )
+        assert weighted_error_rate(ctrs, R1_SCORES) == pytest.approx(
+            paperdata.WORKED_EXAMPLE["r1_weighted_error_rate"], abs=1e-3
+        )
+        assert weighted_error_rate(ctrs, R2_SCORES) == pytest.approx(
+            paperdata.WORKED_EXAMPLE["r2_weighted_error_rate"], abs=1e-3
+        )
+
+    def test_ndcg_matches_constants(self):
+        judgments = np.asarray(paperdata.WORKED_EXAMPLE["ctrs"]) * 10
+        for k, expected in paperdata.WORKED_EXAMPLE["r1_ndcg"].items():
+            assert ndcg_at_k(judgments, R1_SCORES, k) == pytest.approx(
+                expected, abs=0.005
+            )
+        for k, expected in paperdata.WORKED_EXAMPLE["r2_ndcg"].items():
+            assert ndcg_at_k(judgments, R2_SCORES, k) == pytest.approx(
+                expected, abs=0.005
+            )
+
+
+class TestInternalConsistency:
+    def test_table_overlap_rows_agree(self):
+        """Rows shared between Tables III/IV/V must carry equal values."""
+        for name in ("random", "concept vector score"):
+            assert paperdata.TABLE3_WER[name] == paperdata.TABLE4_WER[name]
+            assert paperdata.TABLE4_WER[name] == paperdata.TABLE5_WER[name]
+        assert (
+            paperdata.TABLE3_WER["all features"]
+            == paperdata.TABLE5_WER["best interestingness model"]
+        )
+        assert (
+            paperdata.TABLE4_WER["relevance only (snippets)"]
+            == paperdata.TABLE5_WER["relevance only (snippets)"]
+        )
+
+    def test_table6_percentages_sum(self):
+        """Each judgment distribution sums to ~100% (paper has Can't
+        Tell shares of 0.0-0.2%)."""
+        for cell in paperdata.TABLE6_JUDGMENTS.values():
+            for very, somewhat, not_ in cell.values():
+                assert 99.5 <= very + somewhat + not_ <= 100.1
+
+    def test_table6_headline_drop(self):
+        drop = (
+            1 - paperdata.TABLE6_NOT_SHARE_AFTER / paperdata.TABLE6_NOT_SHARE_BEFORE
+        ) * 100
+        assert drop == pytest.approx(paperdata.TABLE6_NOT_SHARE_DROP, abs=0.2)
+
+    def test_production_ctr_change_consistent(self):
+        """CTR change follows from the views/clicks changes."""
+        views_factor = 1 + paperdata.PRODUCTION_VIEWS_CHANGE / 100
+        clicks_factor = 1 + paperdata.PRODUCTION_CLICKS_CHANGE / 100
+        implied = (clicks_factor / views_factor - 1) * 100
+        assert implied == pytest.approx(paperdata.PRODUCTION_CTR_CHANGE, abs=7.0)
+
+    def test_table2_partition(self):
+        assert set(paperdata.TABLE2_SPECIFIC) | set(paperdata.TABLE2_JUNK) == set(
+            paperdata.TABLE2_SUMMATIONS
+        )
+        for phrase in paperdata.TABLE2_SPECIFIC:
+            assert paperdata.TABLE2_SUMMATIONS[phrase] > 9000
+        for phrase in paperdata.TABLE2_JUNK:
+            assert paperdata.TABLE2_SUMMATIONS[phrase] < 2200
+
+    def test_framework_pair_packing(self):
+        assert (
+            paperdata.FRAMEWORK["tid_bits"] + paperdata.FRAMEWORK["score_bits"]
+            == 32
+        )
+        # 100 pairs x 4 bytes = 400 bytes per concept -> 400 MB per 1M
+        per_concept = paperdata.FRAMEWORK["relevant_keywords_per_concept"] * 4
+        assert per_concept * 1e6 / 1e6 == pytest.approx(
+            paperdata.FRAMEWORK["relevance_mb_per_1m"]
+        )
+
+    def test_dataset_constants_match_module_defaults(self):
+        from repro.clicks.dataset import WINDOW_CHARS, WINDOW_OVERLAP, FilterRules
+
+        assert WINDOW_CHARS == paperdata.DATASET["window_chars"]
+        assert WINDOW_OVERLAP == paperdata.DATASET["window_overlap"]
+        assert FilterRules().min_views == paperdata.DATASET["min_views"]

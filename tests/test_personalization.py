@@ -1,0 +1,223 @@
+"""Tests for the personalization extension: users, history, CF."""
+
+import numpy as np
+import pytest
+
+from repro.clicks import UserClickModel
+from repro.personalization import (
+    FactorizationModel,
+    InteractionMatrix,
+    PersonalizedClickSimulator,
+    PersonalizedScorer,
+    UserProfile,
+    factorize,
+    generate_users,
+    personal_interest,
+)
+
+
+class TestUserProfiles:
+    def test_generate_users_shapes(self):
+        rng = np.random.default_rng(0)
+        users = generate_users(rng, topic_count=12, count=30)
+        assert len(users) == 30
+        for user in users:
+            assert user.topic_affinity.shape == (12,)
+            assert user.topic_affinity.sum() == pytest.approx(1.0)
+            assert user.activity > 0
+
+    def test_invalid_sizes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_users(rng, 0, 5)
+        with pytest.raises(ValueError):
+            generate_users(rng, 5, 0)
+
+    def test_profiles_are_sparse(self):
+        rng = np.random.default_rng(1)
+        users = generate_users(rng, topic_count=20, count=50)
+        top_shares = [user.topic_affinity.max() for user in users]
+        # a sparse Dirichlet puts most mass on a few topics
+        assert np.mean(top_shares) > 0.3
+
+    def test_personal_interest_blend(self, env_world):
+        topic_count = len(env_world.topics)
+        concept = next(
+            c for c in env_world.concepts if c.home_topics and not c.is_junk
+        )
+        fan_affinity = np.zeros(topic_count)
+        fan_affinity[concept.home_topics[0]] = 1.0
+        fan = UserProfile(0, fan_affinity, 1.0)
+        stranger = UserProfile(1, np.full(topic_count, 1.0 / topic_count), 1.0)
+        fan_interest = personal_interest(fan, concept, topic_count)
+        stranger_interest = personal_interest(stranger, concept, topic_count)
+        assert fan_interest > stranger_interest
+        # a uniform user reproduces the global interestingness
+        assert stranger_interest == pytest.approx(
+            concept.interestingness, rel=1e-6
+        )
+
+
+class TestInteractionMatrix:
+    def test_add_and_ctr(self):
+        matrix = InteractionMatrix(user_count=2, concept_count=3)
+        matrix.add(0, 1, views=10, clicks=2)
+        assert matrix.ctr()[0, 1] == pytest.approx(0.2)
+        assert matrix.ctr()[1, 2] == 0.0
+        assert matrix.observed_mask().sum() == 1
+        assert matrix.density == pytest.approx(1 / 6)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def simulated(self, env_world, env_pipeline):
+        rng = np.random.default_rng(7)
+        users = generate_users(rng, len(env_world.topics), 25)
+        simulator = PersonalizedClickSimulator(
+            env_world, env_pipeline, users, UserClickModel(seed=5)
+        )
+        stories = env_world.story_generator(seed=19).generate_many(30)
+        matrix = simulator.simulate(stories, sessions=1500, seed=3)
+        return users, matrix, env_world
+
+    def test_matrix_filled(self, simulated):
+        __, matrix, __w = simulated
+        assert matrix.views.sum() > 0
+        assert matrix.clicks.sum() > 0
+        assert (matrix.clicks <= matrix.views).all()
+
+    def test_fans_click_their_topics_more(self, simulated):
+        users, matrix, world = simulated
+        ctr = matrix.ctr()
+        fan_rates, stranger_rates = [], []
+        for concept in world.concepts:
+            if not concept.home_topics or concept.is_junk:
+                continue
+            home = concept.home_topics[0]
+            for user in users:
+                if matrix.views[user.user_id, concept.concept_id] < 5:
+                    continue
+                rate = ctr[user.user_id, concept.concept_id]
+                if user.topic_affinity[home] > 0.25:
+                    fan_rates.append(rate)
+                elif user.topic_affinity[home] < 0.02:
+                    stranger_rates.append(rate)
+        if not fan_rates or not stranger_rates:
+            pytest.skip("not enough overlap in this seed")
+        assert np.mean(fan_rates) > np.mean(stranger_rates)
+
+
+class TestFactorization:
+    def synthetic_matrix(self, users=40, concepts=30, rank=3, seed=0):
+        """A noiseless low-rank CTR matrix with most cells observed."""
+        rng = np.random.default_rng(seed)
+        u = rng.normal(scale=0.1, size=(users, rank))
+        v = rng.normal(scale=0.1, size=(concepts, rank))
+        ctr = np.clip(0.05 + u @ v.T, 0.0, 1.0)
+        matrix = InteractionMatrix(user_count=users, concept_count=concepts)
+        for i in range(users):
+            for j in range(concepts):
+                if rng.random() < 0.7:
+                    views = 200
+                    matrix.add(i, j, views, int(round(ctr[i, j] * views)))
+        return matrix, ctr
+
+    def test_reconstructs_low_rank_structure(self):
+        matrix, truth = self.synthetic_matrix()
+        model = factorize(matrix, rank=4, iterations=15, regularization=0.1)
+        observed = matrix.observed_mask()
+        predicted = np.vstack(
+            [model.predict_user(i) for i in range(matrix.user_count)]
+        )
+        err = np.abs(predicted - truth)[observed].mean()
+        baseline_err = np.abs(truth[observed] - truth[observed].mean()).mean()
+        assert err < baseline_err * 0.5
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            factorize(InteractionMatrix(user_count=2, concept_count=2))
+
+    def test_predict_user_shape(self):
+        matrix, __ = self.synthetic_matrix(users=10, concepts=8)
+        model = factorize(matrix, rank=2, iterations=5)
+        assert model.predict_user(0).shape == (8,)
+
+    def test_deterministic(self):
+        matrix, __ = self.synthetic_matrix(users=10, concepts=8)
+        a = factorize(matrix, rank=2, iterations=5, seed=3)
+        b = factorize(matrix, rank=2, iterations=5, seed=3)
+        assert np.allclose(a.user_factors, b.user_factors)
+
+
+class TestPersonalizedScorer:
+    def build(self):
+        model = FactorizationModel(
+            user_factors=np.array([[1.0], [-1.0]]),
+            concept_factors=np.array([[0.5], [-0.5]]),
+            global_mean=0.02,
+        )
+        index = {"alpha": 0, "beta": 1}
+        return PersonalizedScorer(model, index, strength=1.0)
+
+    def test_opposite_users_get_opposite_adjustments(self):
+        scorer = self.build()
+        assert scorer.personal_adjustment(0, "alpha") > 0
+        assert scorer.personal_adjustment(1, "alpha") < 0
+        assert scorer.personal_adjustment(0, "beta") < 0
+
+    def test_unknown_phrase_untouched(self):
+        scorer = self.build()
+        assert scorer.personal_adjustment(0, "unknown") == 0.0
+
+    def test_adjust_scores_alignment(self):
+        scorer = self.build()
+        with pytest.raises(ValueError):
+            scorer.adjust_scores(0, ["alpha"], [1.0, 2.0])
+
+    def test_reranking_flips_for_fan(self):
+        scorer = self.build()
+        scores = scorer.adjust_scores(0, ["alpha", "beta"], [0.0, 0.1])
+        assert scores[0] > scores[1]  # user 0 prefers alpha despite base gap
+
+
+class TestPersonalizationEndToEnd:
+    def test_cf_improves_per_user_ranking(self, env_world, env_pipeline):
+        """Held-out per-user preferences: CF-adjusted beats global."""
+        rng = np.random.default_rng(11)
+        users = generate_users(rng, len(env_world.topics), 20)
+        click_model = UserClickModel(seed=13)
+        simulator = PersonalizedClickSimulator(
+            env_world, env_pipeline, users, click_model
+        )
+        stories = env_world.story_generator(seed=23).generate_many(40)
+        train = simulator.simulate(stories, sessions=4000, seed=1)
+        model = factorize(train, rank=6, iterations=10)
+
+        # ground truth per-user preference = personal_interest
+        topic_count = len(env_world.topics)
+        from repro.personalization import personal_interest
+
+        global_correct = cf_correct = total = 0
+        concepts = [c for c in env_world.concepts if not c.is_junk][:80]
+        for user in users[:10]:
+            predicted = model.predict_user(user.user_id)
+            for a in range(0, len(concepts), 7):
+                for b in range(3, len(concepts), 11):
+                    ca, cb = concepts[a], concepts[b]
+                    if ca.concept_id == cb.concept_id:
+                        continue
+                    truth_a = personal_interest(user, ca, topic_count)
+                    truth_b = personal_interest(user, cb, topic_count)
+                    if abs(truth_a - truth_b) < 0.1:
+                        continue
+                    total += 1
+                    global_pick = ca.interestingness > cb.interestingness
+                    cf_pick = (
+                        predicted[ca.concept_id] > predicted[cb.concept_id]
+                    )
+                    truth = truth_a > truth_b
+                    global_correct += global_pick == truth
+                    cf_correct += cf_pick == truth
+        assert total > 50
+        # CF must add per-user signal beyond the global ordering
+        assert cf_correct / total > 0.5

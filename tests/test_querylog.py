@@ -1,0 +1,195 @@
+"""Tests for the query log container, generator, and unit mining."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import SyntheticWorld, WorldConfig
+from repro.querylog import QueryLog, UnitMiner, query_log_for_world
+
+TINY_WORLD = WorldConfig(
+    seed=5,
+    vocabulary_size=1000,
+    topic_count=6,
+    words_per_topic=40,
+    concept_count=120,
+    topic_page_count=40,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.build(TINY_WORLD)
+
+
+@pytest.fixture(scope="module")
+def log(world):
+    return query_log_for_world(world)
+
+
+class TestQueryLog:
+    def test_from_strings(self):
+        log = QueryLog.from_strings({"global warming": 10, "warming": 3})
+        assert log.freq_exact(("global", "warming")) == 10
+        assert log.freq_exact(("warming",)) == 3
+
+    def test_freq_phrase_contained_counts_supersets(self):
+        log = QueryLog.from_strings(
+            {"global warming": 10, "global warming effects": 4, "warming": 3}
+        )
+        assert log.freq_phrase_contained(("global", "warming")) == 14
+        assert log.freq_phrase_contained(("warming",)) == 17
+
+    def test_contained_requires_contiguous_order(self):
+        log = QueryLog.from_strings({"warming global": 5})
+        assert log.freq_phrase_contained(("global", "warming")) == 0
+
+    def test_queries_containing(self):
+        log = QueryLog.from_strings({"a b": 2, "a b c": 1, "c": 9})
+        hits = dict(log.queries_containing(("a", "b")))
+        assert hits == {("a", "b"): 2, ("a", "b", "c"): 1}
+
+    def test_zero_counts_dropped(self):
+        log = QueryLog({("a",): 0, ("b",): 1})
+        assert ("a",) not in log
+        assert len(log) == 1
+
+    def test_total_submissions(self):
+        log = QueryLog.from_strings({"a": 2, "b": 3})
+        assert log.total_submissions == 5
+
+    def test_top_queries(self):
+        log = QueryLog.from_strings({"a": 1, "b": 5, "c": 3})
+        assert log.top_queries(2) == [(("b",), 5), (("c",), 3)]
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.sampled_from("abcd"), st.sampled_from("abcd")),
+            st.integers(1, 50),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30)
+    def test_exact_never_exceeds_contained(self, counts):
+        log = QueryLog(counts)
+        for terms, __ in counts.items():
+            assert log.freq_exact(terms) <= log.freq_phrase_contained(terms)
+
+
+class TestGenerator:
+    def test_deterministic(self, world):
+        a = query_log_for_world(world)
+        b = query_log_for_world(world)
+        assert dict(a.items()) == dict(b.items())
+
+    def test_interesting_concepts_searched_more(self, world, log):
+        hot = [c for c in world.concepts if c.interestingness > 0.6 and not c.is_junk]
+        dull = [c for c in world.concepts if c.interestingness < 0.1 and not c.is_junk]
+        assert hot and dull
+        hot_mean = np.mean([log.freq_exact(c.terms) for c in hot])
+        dull_mean = np.mean([log.freq_exact(c.terms) for c in dull])
+        assert hot_mean > dull_mean
+
+    def test_junk_has_high_containment_low_exact_ratio(self, world, log):
+        junk = world.junk_concepts()
+        assert junk
+        for concept in junk:
+            contained = log.freq_phrase_contained(concept.terms)
+            assert contained > 0
+            # junk rides inside longer queries far more than it is typed alone
+            assert contained > 2 * log.freq_exact(concept.terms)
+
+    def test_refinements_present_for_popular_concepts(self, world, log):
+        popular = max(
+            (c for c in world.concepts if not c.is_junk),
+            key=lambda c: log.freq_exact(c.terms),
+        )
+        hits = log.queries_containing(popular.terms)
+        longer = [q for q, __ in hits if len(q) > len(popular.terms)]
+        assert longer
+
+
+class TestUnitMiner:
+    def test_mines_known_bigram(self):
+        log = QueryLog.from_strings(
+            {
+                "global warming": 50,
+                "global warming effects": 10,
+                "global": 5,
+                "warming": 4,
+                "stock market": 30,
+                "market": 8,
+                "weather": 20,
+            }
+        )
+        lexicon = UnitMiner(min_pair_count=3, mi_threshold=0.5).mine(log)
+        assert ("global", "warming") in lexicon
+        assert ("stock", "market") in lexicon
+        assert lexicon.score(("global", "warming")) > 0
+
+    def test_rare_pair_rejected(self):
+        log = QueryLog.from_strings({"rare pair": 1, "rare": 50, "pair": 50})
+        lexicon = UnitMiner(min_pair_count=5, mi_threshold=0.5).mine(log)
+        assert ("rare", "pair") not in lexicon
+
+    def test_independent_pair_rejected(self):
+        # "a" and "b" both frequent alone; "a b" no more than chance
+        queries = {"a x": 100, "b y": 100, "a b": 2, "x": 30, "y": 30}
+        lexicon = UnitMiner(min_pair_count=1, mi_threshold=2.0).mine(log := QueryLog.from_strings(queries))
+        assert ("a", "b") not in lexicon or lexicon.get(("a", "b")).mutual_information < 2.5
+
+    @staticmethod
+    def _nyc_log():
+        return QueryLog.from_strings(
+            {
+                "new york city": 40,
+                "new york": 25,
+                "city": 5,
+                "tour": 10,
+                # background volume so containment probabilities are small
+                "weather": 150,
+                "sports": 150,
+                "music": 150,
+            }
+        )
+
+    def test_trigram_units(self):
+        lexicon = UnitMiner(min_pair_count=3, mi_threshold=0.5).mine(self._nyc_log())
+        assert ("new", "york") in lexicon
+        assert ("new", "york", "city") in lexicon
+
+    def test_scores_normalized(self, log):
+        lexicon = UnitMiner().mine(log)
+        for unit in lexicon.units():
+            assert 0.0 <= unit.score <= 1.0
+
+    def test_world_concepts_recovered_as_units(self, world, log):
+        lexicon = UnitMiner().mine(log)
+        multi = [
+            c
+            for c in world.concepts
+            if len(c.terms) > 1 and not c.is_junk and log.freq_exact(c.terms) >= 20
+        ]
+        assert multi
+        recovered = sum(1 for c in multi if tuple(c.terms) in lexicon)
+        assert recovered / len(multi) > 0.8
+
+    def test_segment_greedy_longest(self):
+        lexicon = UnitMiner(min_pair_count=3, mi_threshold=0.5).mine(self._nyc_log())
+        segments = lexicon.segment(["new", "york", "city", "tour"])
+        assert segments[0] == ("new", "york", "city")
+        assert segments[1] == ("tour",)
+
+    def test_segment_unknown_words_are_singletons(self, log):
+        lexicon = UnitMiner().mine(log)
+        segments = lexicon.segment(["zzzunknown", "wordszzz"])
+        assert segments == [("zzzunknown",), ("wordszzz",)]
+
+    def test_segment_covers_input(self, log):
+        lexicon = UnitMiner().mine(log)
+        words = ["a", "b", "c", "d", "e"]
+        segments = lexicon.segment(words)
+        flattened = [w for seg in segments for w in seg]
+        assert flattened == words

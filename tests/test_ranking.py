@@ -1,0 +1,227 @@
+"""Tests for pair construction, RankSVM, and baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking import (
+    KERNEL_RBF,
+    RandomFourierFeatures,
+    RankSVM,
+    StandardScaler,
+    build_pairs,
+    jitter_ties,
+    random_scores,
+    tie_break_by_relevance,
+)
+
+
+def make_synthetic_ranking(
+    n_groups=40, per_group=6, n_features=5, noise=0.05, seed=0
+):
+    """Instances whose labels are a noisy linear function of features."""
+    rng = np.random.default_rng(seed)
+    true_w = rng.normal(size=n_features)
+    X, y, g = [], [], []
+    for group in range(n_groups):
+        feats = rng.normal(size=(per_group, n_features))
+        labels = feats @ true_w + rng.normal(scale=noise, size=per_group)
+        X.append(feats)
+        y.extend(labels)
+        g.extend([group] * per_group)
+    return np.vstack(X), np.asarray(y), np.asarray(g), true_w
+
+
+class TestBuildPairs:
+    def test_basic_pairs(self):
+        X = np.array([[1.0], [0.0], [2.0]])
+        pairs = build_pairs(X, [0.3, 0.1, 0.2], [0, 0, 0])
+        assert pairs.count == 3
+        # every difference must point from preferred to other
+        assert (pairs.weights > 0).all()
+
+    def test_cross_group_pairs_excluded(self):
+        X = np.zeros((4, 1))
+        pairs = build_pairs(X, [1.0, 0.0, 1.0, 0.0], [0, 0, 1, 1])
+        assert pairs.count == 2
+
+    def test_min_label_gap(self):
+        X = np.zeros((2, 1))
+        assert build_pairs(X, [0.10, 0.09], [0, 0], min_label_gap=0.05).count == 0
+        assert build_pairs(X, [0.20, 0.09], [0, 0], min_label_gap=0.05).count == 1
+
+    def test_equal_labels_no_pair(self):
+        X = np.zeros((2, 1))
+        assert build_pairs(X, [0.5, 0.5], [0, 0]).count == 0
+
+    def test_max_pairs_per_group(self):
+        X = np.zeros((30, 1))
+        labels = np.arange(30, dtype=float)
+        pairs = build_pairs(X, labels, np.zeros(30), max_pairs_per_group=50)
+        assert pairs.count == 50
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_pairs(np.zeros((2, 1)), [1.0], [0, 0])
+
+    def test_empty(self):
+        pairs = build_pairs(np.zeros((0, 3)), [], [])
+        assert pairs.count == 0
+        assert pairs.differences.shape == (0, 3)
+
+    @given(st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_difference_sign_property(self, per_group, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(per_group, 3))
+        labels = rng.random(per_group)
+        pairs = build_pairs(X, labels, np.zeros(per_group))
+        # reconstruct: each difference must equal x_hi - x_lo for labels hi>lo
+        for diff, weight in zip(pairs.differences, pairs.weights):
+            assert weight > 0
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit(X).transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        scaled = StandardScaler().fit(X).transform(X)
+        assert np.isfinite(scaled).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestRandomFourierFeatures:
+    def test_shape(self):
+        X = np.random.default_rng(0).normal(size=(10, 4))
+        mapped = RandomFourierFeatures(n_components=64).fit(X).transform(X)
+        assert mapped.shape == (10, 64)
+
+    def test_kernel_approximation(self):
+        """z(x).z(y) should approximate exp(-gamma ||x-y||^2)."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 3))
+        gamma = 0.5
+        mapped = (
+            RandomFourierFeatures(gamma=gamma, n_components=4000, seed=5)
+            .fit(X)
+            .transform(X)
+        )
+        approx = mapped @ mapped.T
+        sq_dists = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+        exact = np.exp(-gamma * sq_dists)
+        assert np.abs(approx - exact).max() < 0.12
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomFourierFeatures().transform(np.zeros((2, 2)))
+
+
+class TestRankSVMLinear:
+    def test_learns_linear_ranking(self):
+        X, y, g, __ = make_synthetic_ranking(seed=3)
+        model = RankSVM(epochs=200).fit(X, y, g)
+        accuracy = model.pairwise_accuracy(X, y, g)
+        assert accuracy > 0.9
+
+    def test_generalizes_to_unseen_groups(self):
+        X, y, g, w = make_synthetic_ranking(n_groups=60, seed=4)
+        train = g < 40
+        test = ~train
+        model = RankSVM(epochs=200).fit(X[train], y[train], g[train])
+        accuracy = model.pairwise_accuracy(X[test], y[test], g[test])
+        assert accuracy > 0.85
+
+    def test_rank_returns_permutation(self):
+        X, y, g, __ = make_synthetic_ranking(n_groups=5, seed=5)
+        model = RankSVM(epochs=50).fit(X, y, g)
+        order = model.rank(X[:6])
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RankSVM().decision_function(np.zeros((2, 3)))
+
+    def test_deterministic(self):
+        X, y, g, __ = make_synthetic_ranking(seed=6)
+        a = RankSVM(epochs=100).fit(X, y, g).decision_function(X[:10])
+        b = RankSVM(epochs=100).fit(X, y, g).decision_function(X[:10])
+        assert np.allclose(a, b)
+
+    def test_weighted_pairs_option_runs(self):
+        X, y, g, __ = make_synthetic_ranking(seed=7)
+        model = RankSVM(epochs=100, weight_pairs_by_label_gap=True).fit(X, y, g)
+        assert model.pairwise_accuracy(X, y, g) > 0.85
+
+    def test_no_pairs_graceful(self):
+        X = np.zeros((3, 2))
+        model = RankSVM().fit(X, [0.5, 0.5, 0.5], [0, 0, 0])
+        assert np.allclose(model.decision_function(X), 0.0)
+
+    def test_unknown_kernel_rejected(self):
+        X, y, g, __ = make_synthetic_ranking(n_groups=3, seed=0)
+        with pytest.raises(ValueError):
+            RankSVM(kernel="poly").fit(X, y, g)
+
+
+class TestRankSVMRBF:
+    def test_learns_nonlinear_ranking(self):
+        """Labels depend on ||x||: linearly inseparable, RBF should win."""
+        rng = np.random.default_rng(8)
+        X, y, g = [], [], []
+        for group in range(60):
+            feats = rng.normal(size=(6, 3))
+            labels = -np.linalg.norm(feats, axis=1)  # prefer central points
+            X.append(feats)
+            y.extend(labels)
+            g.extend([group] * 6)
+        X, y, g = np.vstack(X), np.asarray(y), np.asarray(g)
+        linear = RankSVM(epochs=150).fit(X, y, g)
+        rbf = RankSVM(
+            kernel=KERNEL_RBF, gamma=0.5, n_components=300, epochs=150
+        ).fit(X, y, g)
+        assert rbf.pairwise_accuracy(X, y, g) > linear.pairwise_accuracy(X, y, g)
+        assert rbf.pairwise_accuracy(X, y, g) > 0.8
+
+
+class TestBaselines:
+    def test_random_scores_shape(self):
+        rng = np.random.default_rng(0)
+        assert random_scores(5, rng).shape == (5,)
+
+    def test_jitter_preserves_strict_order(self):
+        rng = np.random.default_rng(0)
+        scores = np.array([3.0, 2.0, 1.0])
+        jittered = jitter_ties(scores, rng)
+        assert (np.argsort(-jittered) == np.array([0, 1, 2])).all()
+
+    def test_jitter_breaks_ties(self):
+        rng = np.random.default_rng(0)
+        jittered = jitter_ties(np.array([1.0, 1.0, 1.0]), rng)
+        assert len(set(jittered.tolist())) == 3
+
+    def test_tie_break_by_relevance_orders_ties(self):
+        scores = np.array([1.0, 1.0])
+        relevance = np.array([0.2, 0.9])
+        adjusted = tie_break_by_relevance(scores, relevance)
+        assert adjusted[1] > adjusted[0]
+
+    def test_tie_break_does_not_flip_strict_order(self):
+        scores = np.array([2.0, 1.0])
+        relevance = np.array([0.0, 1e9])
+        adjusted = tie_break_by_relevance(scores, relevance)
+        assert adjusted[0] > adjusted[1]
+
+    def test_tie_break_zero_relevance(self):
+        scores = np.array([1.0, 2.0])
+        adjusted = tie_break_by_relevance(scores, np.zeros(2))
+        assert np.allclose(adjusted, scores)

@@ -1,0 +1,147 @@
+"""Direct tests for FeatureAssembler and ConceptRanker."""
+
+import numpy as np
+import pytest
+
+from repro.features import RelevanceModel, RelevanceScorer
+from repro.features.interestingness import numeric_feature_names
+from repro.ranking import ConceptRanker, FeatureAssembler, RankSVM
+
+
+@pytest.fixture(scope="module")
+def relevance_scorer(env_world, env_miner):
+    phrases = [c.phrase for c in env_world.concepts[:30]]
+    return RelevanceScorer(RelevanceModel.mine_all(env_miner, phrases))
+
+
+@pytest.fixture(scope="module")
+def trained_svm():
+    """A deterministic model on the combined feature width."""
+    rng = np.random.default_rng(2)
+    width = len(numeric_feature_names()) + 1  # + relevance column
+    X = rng.normal(size=(60, width))
+    y = X[:, 0] - X[:, -1]
+    g = np.repeat(np.arange(10), 6)
+    return RankSVM(epochs=40).fit(X, y, g)
+
+
+class TestFeatureAssembler:
+    def test_vector_width_without_relevance(self, env_extractor, env_world):
+        assembler = FeatureAssembler(extractor=env_extractor)
+        vector = assembler.vector(env_world.concepts[0].phrase)
+        assert vector.shape == (len(numeric_feature_names()),)
+
+    def test_vector_width_with_relevance(
+        self, env_extractor, env_world, relevance_scorer
+    ):
+        assembler = FeatureAssembler(
+            extractor=env_extractor, relevance_scorer=relevance_scorer
+        )
+        context = relevance_scorer.context_stems("some context text")
+        vector = assembler.vector(env_world.concepts[0].phrase, context)
+        assert vector.shape == (len(numeric_feature_names()) + 1,)
+
+    def test_relevance_requires_context(
+        self, env_extractor, relevance_scorer, env_world
+    ):
+        assembler = FeatureAssembler(
+            extractor=env_extractor, relevance_scorer=relevance_scorer
+        )
+        with pytest.raises(ValueError):
+            assembler.vector(env_world.concepts[0].phrase, None)
+
+    def test_context_of_none_without_scorer(self, env_extractor):
+        assembler = FeatureAssembler(extractor=env_extractor)
+        assert assembler.context_of("anything") is None
+
+    def test_exclude_groups_shrinks(self, env_extractor, env_world):
+        assembler = FeatureAssembler(
+            extractor=env_extractor, exclude_groups=("query_logs",)
+        )
+        vector = assembler.vector(env_world.concepts[0].phrase)
+        assert vector.shape == (len(numeric_feature_names()) - 3,)
+
+    def test_matrix_stacks(self, env_extractor, env_world):
+        assembler = FeatureAssembler(extractor=env_extractor)
+        phrases = [c.phrase for c in env_world.concepts[:4]]
+        matrix = assembler.matrix(phrases)
+        assert matrix.shape[0] == 4
+
+    def test_relevance_of_zero_without_scorer(self, env_extractor):
+        assembler = FeatureAssembler(extractor=env_extractor)
+        assert (assembler.relevance_of(["a", "b"], None) == 0).all()
+
+
+class TestConceptRanker:
+    @pytest.fixture(scope="class")
+    def ranker(self, env_extractor, relevance_scorer, trained_svm):
+        assembler = FeatureAssembler(
+            extractor=env_extractor, relevance_scorer=relevance_scorer
+        )
+        return ConceptRanker(assembler, trained_svm)
+
+    def test_score_phrases_shape(self, ranker, env_world, env_stories):
+        phrases = [c.phrase for c in env_world.concepts[:5]]
+        scores = ranker.score_phrases(phrases, env_stories[0].text)
+        assert scores.shape == (5,)
+
+    def test_score_empty(self, ranker, env_stories):
+        assert ranker.score_phrases([], env_stories[0].text).shape == (0,)
+
+    def test_rank_phrases_sorted(self, ranker, env_world, env_stories):
+        phrases = [c.phrase for c in env_world.concepts[:6]]
+        ranked = ranker.rank_phrases(phrases, env_stories[0].text)
+        scores = [s for __, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert sorted(p for p, __ in ranked) == sorted(phrases)
+
+    def test_rank_document_and_top(self, ranker, env_pipeline, env_stories):
+        annotated = env_pipeline.process(env_stories[1].text)
+        ranked = ranker.rank_document(annotated)
+        top2 = ranker.top_detections(annotated, 2)
+        assert [d.phrase for d in top2] == [d.phrase for d in ranked[:2]]
+        scores = [d.score for d in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_document_empty(self, ranker, env_pipeline):
+        annotated = env_pipeline.process("")
+        assert ranker.rank_document(annotated) == []
+
+    def test_tie_break_toggle_changes_nothing_on_strict_scores(
+        self, env_extractor, relevance_scorer, trained_svm, env_world, env_stories
+    ):
+        assembler = FeatureAssembler(
+            extractor=env_extractor, relevance_scorer=relevance_scorer
+        )
+        with_tb = ConceptRanker(assembler, trained_svm, True)
+        without_tb = ConceptRanker(assembler, trained_svm, False)
+        phrases = [c.phrase for c in env_world.concepts[:5]]
+        a = [p for p, __ in with_tb.rank_phrases(phrases, env_stories[2].text)]
+        b = [p for p, __ in without_tb.rank_phrases(phrases, env_stories[2].text)]
+        # scores are continuous; epsilon tie-breaking cannot reorder them
+        assert a == b
+
+
+class TestSeedSweepUnit:
+    def test_two_tiny_seeds(self):
+        from repro.corpus import WorldConfig
+        from repro.eval import seed_sweep
+
+        result = seed_sweep(
+            seeds=[3, 4],
+            base_world=WorldConfig(
+                vocabulary_size=1000,
+                topic_count=10,
+                words_per_topic=35,
+                concept_count=90,
+                topic_page_count=60,
+            ),
+            stories=60,
+        )
+        assert result.seeds == [3, 4]
+        for ranker, values in result.wer.items():
+            assert len(values) == 2
+            assert all(0.0 <= v <= 1.0 for v in values)
+        # random must sit near 50% on both seeds
+        assert 0.4 < result.mean("random") < 0.6
+        assert 0.0 <= result.ordering_hold_rate("combined", "random") <= 1.0

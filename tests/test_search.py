@@ -1,0 +1,258 @@
+"""Tests for the inverted index, engine, snippets, Prisma and suggestions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import SyntheticWorld, WorldConfig
+from repro.querylog import QueryLog, query_log_for_world
+from repro.search import (
+    InvertedIndex,
+    PrismaTool,
+    SearchEngine,
+    SnippetService,
+    SuggestionService,
+    make_snippet,
+)
+
+TINY_WORLD = WorldConfig(
+    seed=9,
+    vocabulary_size=1000,
+    topic_count=6,
+    words_per_topic=40,
+    concept_count=100,
+    topic_page_count=60,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.build(TINY_WORLD)
+
+
+@pytest.fixture(scope="module")
+def engine(world):
+    return SearchEngine.from_corpus(world.web_corpus)
+
+
+class TestInvertedIndex:
+    def build(self):
+        index = InvertedIndex()
+        index.add_document(0, ["the", "global", "warming", "debate"])
+        index.add_document(1, ["global", "markets", "and", "global", "warming"])
+        index.add_document(2, ["weather", "report"])
+        return index
+
+    def test_document_stats(self):
+        index = self.build()
+        assert index.document_count == 3
+        assert index.doc_length(0) == 4
+        assert index.average_document_length == pytest.approx((4 + 5 + 2) / 3)
+
+    def test_duplicate_doc_id_rejected(self):
+        index = self.build()
+        with pytest.raises(ValueError):
+            index.add_document(0, ["x"])
+
+    def test_document_frequency(self):
+        index = self.build()
+        assert index.document_frequency("global") == 2
+        assert index.document_frequency("weather") == 1
+        assert index.document_frequency("nope") == 0
+
+    def test_term_frequency(self):
+        index = self.build()
+        assert index.term_frequency("global", 1) == 2
+        assert index.term_frequency("global", 2) == 0
+
+    def test_phrase_postings(self):
+        index = self.build()
+        matches = index.phrase_postings(["global", "warming"])
+        assert matches == {0: 1, 1: 1}
+
+    def test_phrase_postings_respects_order(self):
+        index = self.build()
+        assert index.phrase_postings(["warming", "global"]) == {}
+
+    def test_phrase_postings_counts_multiple(self):
+        index = InvertedIndex()
+        index.add_document(0, ["a", "b", "a", "b"])
+        assert index.phrase_postings(["a", "b"]) == {0: 2}
+
+    def test_phrase_single_term(self):
+        index = self.build()
+        assert index.phrase_postings(["global"]) == {0: 1, 1: 2}
+
+    def test_phrase_empty(self):
+        assert self.build().phrase_postings([]) == {}
+
+    def test_phrase_unseen_term(self):
+        assert self.build().phrase_postings(["global", "zzz"]) == {}
+
+    def test_phrase_document_count(self):
+        assert self.build().phrase_document_count(["global", "warming"]) == 2
+
+
+class TestSearchEngine:
+    def test_search_ranks_matching_docs_first(self, world, engine):
+        concept = max(
+            (c for c in world.concepts if not c.is_junk),
+            key=lambda c: c.interestingness,
+        )
+        results = engine.search(concept.phrase, limit=10)
+        assert results
+        top_tokens = engine.tokens(results[0].doc_id)
+        assert any(term in top_tokens for term in concept.terms)
+
+    def test_scores_descending(self, engine, world):
+        results = engine.search(world.concepts[0].phrase, limit=20)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_phrase_search_contains_phrase(self, world, engine):
+        concept = next(
+            c for c in world.concepts if len(c.terms) >= 2 and not c.is_junk
+        )
+        results = engine.phrase_search(concept.phrase, limit=5)
+        for result in results:
+            tokens = engine.tokens(result.doc_id)
+            text = " ".join(tokens)
+            assert concept.phrase in text
+
+    def test_phrase_result_count_matches_phrase_search(self, world, engine):
+        concept = world.concepts[1]
+        count = engine.phrase_result_count(concept.phrase)
+        results = engine.phrase_search(concept.phrase, limit=10**6)
+        assert count == len(results)
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+        assert engine.phrase_search("") == []
+        assert engine.phrase_result_count("") == 0
+
+    def test_result_count_free_query(self, engine, world):
+        concept = world.concepts[2]
+        assert engine.result_count(concept.phrase) >= engine.phrase_result_count(
+            concept.phrase
+        )
+
+    def test_general_concepts_more_results(self, world, engine):
+        regular = [c for c in world.concepts if not c.is_junk]
+        specific = [c for c in regular if c.specificity > 0.85]
+        general = [c for c in regular if c.specificity < 0.4]
+        assert specific and general
+        mean_specific = np.mean(
+            [engine.phrase_result_count(c.phrase) for c in specific]
+        )
+        mean_general = np.mean(
+            [engine.phrase_result_count(c.phrase) for c in general]
+        )
+        assert mean_general > mean_specific
+
+
+class TestSnippets:
+    def test_window_centred_on_phrase(self):
+        tokens = ["w%d" % i for i in range(100)]
+        tokens[50:52] = ["target", "phrase"]
+        snippet = make_snippet(tokens, ["target", "phrase"], window=10)
+        assert "target phrase" in snippet
+        assert len(snippet.split()) == 10
+
+    def test_fallback_to_any_term(self):
+        tokens = ["a", "b", "target", "c"]
+        snippet = make_snippet(tokens, ["target", "missing"], window=4)
+        assert "target" in snippet
+
+    def test_no_match_starts_at_beginning(self):
+        tokens = ["a", "b", "c", "d"]
+        snippet = make_snippet(tokens, ["zzz"], window=2)
+        assert snippet == "a b"
+
+    def test_short_document(self):
+        assert make_snippet(["only"], ["only"], window=10) == "only"
+
+    def test_service_returns_snippets_containing_topic_words(self, world, engine):
+        service = SnippetService(engine)
+        concept = max(
+            (c for c in world.concepts if not c.is_junk and len(c.terms) >= 2),
+            key=lambda c: c.interestingness,
+        )
+        snippets = service.snippets_for_phrase(concept.phrase, limit=20)
+        assert snippets
+        assert any(concept.terms[0] in s.split() for s in snippets)
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_window_size_respected(self, window):
+        tokens = ["w%d" % i for i in range(80)]
+        snippet = make_snippet(tokens, ["w40"], window=window)
+        assert len(snippet.split()) == window
+
+
+class TestPrisma:
+    def test_returns_capped_feedback(self, world, engine):
+        prisma = PrismaTool(engine)
+        concept = max(
+            (c for c in world.concepts if not c.is_junk),
+            key=lambda c: c.interestingness,
+        )
+        feedback = prisma.feedback(concept.phrase)
+        assert 0 < len(feedback) <= 20
+        terms = [t for t, __ in feedback]
+        # query terms excluded
+        assert not set(terms) & set(concept.terms)
+
+    def test_scores_descending(self, world, engine):
+        prisma = PrismaTool(engine)
+        feedback = prisma.feedback(world.concepts[0].phrase)
+        scores = [s for __, s in feedback]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_feedback_contains_topic_words(self, world, engine):
+        prisma = PrismaTool(engine, feedback_terms=20)
+        concept = max(
+            (c for c in world.concepts if not c.is_junk and c.home_topics),
+            key=lambda c: c.interestingness,
+        )
+        feedback = {t for t, __ in prisma.feedback(concept.phrase)}
+        topic_words = set()
+        for topic_id in concept.home_topics:
+            topic_words.update(world.topics[topic_id].words)
+        assert feedback & topic_words
+
+
+class TestSuggestions:
+    def test_suggestions_contain_phrase(self, world):
+        log = query_log_for_world(world)
+        service = SuggestionService(log)
+        concept = max(
+            (c for c in world.concepts if not c.is_junk),
+            key=lambda c: log.freq_exact(c.terms),
+        )
+        suggestions = service.suggest(concept.phrase)
+        assert suggestions
+        for text, frequency in suggestions:
+            assert concept.phrase in text
+            assert frequency > 0
+
+    def test_exact_query_excluded(self):
+        log = QueryLog.from_strings({"global warming": 10, "global warming facts": 3})
+        suggestions = SuggestionService(log).suggest("global warming")
+        assert ("global warming", 10) not in suggestions
+        assert ("global warming facts", 3) in suggestions
+
+    def test_cap_respected(self):
+        queries = {f"base q{i}": i + 1 for i in range(50)}
+        log = QueryLog.from_strings(queries)
+        service = SuggestionService(log, max_suggestions=10)
+        assert len(service.suggest("base")) == 10
+
+    def test_sorted_by_frequency(self):
+        log = QueryLog.from_strings({"x a": 1, "x b": 9, "x c": 5})
+        suggestions = SuggestionService(log).suggest("x")
+        assert [f for __, f in suggestions] == [9, 5, 1]
+
+    def test_empty_phrase(self):
+        log = QueryLog.from_strings({"a": 1})
+        assert SuggestionService(log).suggest("") == []

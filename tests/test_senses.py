@@ -1,0 +1,141 @@
+"""Tests for LSA sense clustering of ambiguous concepts."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    LsaSenseMiner,
+    RelevanceScorer,
+    RelevanceModel,
+    SenseAwareRelevanceScorer,
+    SenseModel,
+    kmeans,
+)
+
+
+class TestKMeans:
+    def test_two_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        left = rng.normal(loc=-5.0, size=(20, 2))
+        right = rng.normal(loc=5.0, size=(20, 2))
+        points = np.vstack([left, right])
+        labels, inertia = kmeans(points, 2, seed=1)
+        # all left points share a label, all right points the other
+        assert len(set(labels[:20].tolist())) == 1
+        assert len(set(labels[20:].tolist())) == 1
+        assert labels[0] != labels[-1]
+        assert inertia < kmeans(points, 1, seed=1)[1]
+
+    def test_k_one(self):
+        points = np.random.default_rng(1).normal(size=(10, 3))
+        labels, __ = kmeans(points, 1)
+        assert (labels == 0).all()
+
+    def test_invalid_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 4)
+
+    def test_deterministic(self):
+        points = np.random.default_rng(2).normal(size=(30, 4))
+        a, __ = kmeans(points, 3, seed=7)
+        b, __ = kmeans(points, 3, seed=7)
+        assert (a == b).all()
+
+
+class TestSenseModel:
+    def test_score_takes_best_sense(self):
+        model = SenseModel(
+            phrase="jaguar",
+            senses=[
+                (("engin", 10.0), ("speed", 8.0)),
+                (("jungl", 9.0), ("prei", 7.0)),
+            ],
+        )
+        car_context = {"engin", "speed", "road"}
+        animal_context = {"jungl", "prei"}
+        mixed = {"engin", "jungl"}
+        assert model.score(car_context) == pytest.approx(18.0)
+        assert model.score(animal_context) == pytest.approx(16.0)
+        # best single sense, not the cross-sense sum
+        assert model.score(mixed) == pytest.approx(10.0)
+
+    def test_empty_model(self):
+        assert SenseModel("x", []).score({"anything"}) == 0.0
+
+
+class TestLsaSenseMiner:
+    @pytest.fixture(scope="class")
+    def ambiguous_concept(self, env_world):
+        two_topic = [
+            c
+            for c in env_world.concepts
+            if len(c.home_topics) == 2 and not c.is_junk
+        ]
+        if not two_topic:
+            pytest.skip("no two-topic concepts in this seed")
+        return max(two_topic, key=lambda c: c.interestingness)
+
+    @pytest.fixture(scope="class")
+    def miner(self, env_snippets, env_stemmed_df):
+        return LsaSenseMiner(env_snippets, env_stemmed_df)
+
+    def test_mine_returns_senses(self, miner, ambiguous_concept):
+        model = miner.mine(ambiguous_concept.phrase)
+        assert model.sense_count >= 1
+        for sense in model.senses:
+            assert len(sense) > 0
+            scores = [s for __, s in sense]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_phrase_empty_model(self, miner):
+        model = miner.mine("zzz qqq never")
+        assert model.sense_count == 0
+        assert model.score({"anything"}) == 0.0
+
+    def test_single_topic_concept_one_sense(self, miner, env_world):
+        focused = max(
+            (
+                c
+                for c in env_world.concepts
+                if len(c.home_topics) == 1 and not c.is_junk
+                and c.specificity > 0.8
+            ),
+            key=lambda c: c.interestingness,
+        )
+        model = miner.mine(focused.phrase)
+        assert model.sense_count == 1
+
+    def test_sense_aware_beats_plain_for_ambiguous(
+        self, miner, env_world, env_miner, ambiguous_concept
+    ):
+        """In a single-sense context, the best-sense score should be at
+        least as concentrated as the global keyword score."""
+        phrase = ambiguous_concept.phrase
+        sense_model = miner.mine(phrase)
+        plain_model = RelevanceModel({phrase: env_miner.mine_from_snippets(phrase)})
+        plain = RelevanceScorer(plain_model)
+        aware = SenseAwareRelevanceScorer({phrase: sense_model})
+
+        topic_id = ambiguous_concept.home_topics[0]
+        topic_text = " ".join(env_world.topics[topic_id].words)
+        context = aware.context_stems(topic_text)
+        assert aware.score(phrase, context) > 0
+        # both scorers see the context; sense-aware should not be weaker
+        # by more than the split of keyword mass across senses
+        assert aware.score(phrase, context) > 0.3 * plain.score(phrase, context)
+
+
+class TestSenseAwareScorer:
+    def test_unknown_phrase(self):
+        scorer = SenseAwareRelevanceScorer({})
+        assert scorer.score_text("nope", "text") == 0.0
+        assert scorer.sense_count("nope") == 0
+
+    def test_case_insensitive(self):
+        model = SenseModel("Jaguar", senses=[(("jungl", 5.0),)])
+        scorer = SenseAwareRelevanceScorer({"Jaguar": model})
+        assert scorer.score("JAGUAR", {"jungl"}) == pytest.approx(5.0)
+        assert scorer.sense_count("jaguar") == 1

@@ -1,0 +1,191 @@
+"""Tests for SVMlight I/O, bootstrap significance, and figure rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    EvalResult,
+    paired_bootstrap,
+    render_bar,
+    render_ndcg_figure,
+    render_wer_figure,
+)
+from repro.ranking import dump_ranking_file, load_ranking_file
+
+
+class TestSvmlightFormat:
+    def sample(self):
+        features = np.array([[1.0, 0.0, 2.5], [0.0, 3.0, 0.0], [1.5, 2.0, 0.5]])
+        labels = [0.15, 0.05, 0.4]
+        groups = [2, 1, 2]
+        return features, labels, groups
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.dat"
+        features, labels, groups = self.sample()
+        dump_ranking_file(path, features, labels, groups)
+        loaded_x, loaded_y, loaded_g, comments = load_ranking_file(path)
+        # rows are regrouped by qid; compare as sets of (label, group, row)
+        original = {
+            (labels[i], groups[i], tuple(features[i])) for i in range(3)
+        }
+        recovered = {
+            (float(loaded_y[i]), int(loaded_g[i]), tuple(loaded_x[i]))
+            for i in range(3)
+        }
+        assert original == recovered
+
+    def test_qid_blocks_contiguous(self, tmp_path):
+        path = tmp_path / "data.dat"
+        features, labels, groups = self.sample()
+        dump_ranking_file(path, features, labels, groups)
+        qids = [
+            line.split()[1]
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert qids == sorted(qids)
+
+    def test_zero_features_omitted(self, tmp_path):
+        path = tmp_path / "data.dat"
+        dump_ranking_file(path, np.array([[0.0, 5.0]]), [1.0], [1])
+        content = path.read_text()
+        assert "1:" not in content
+        assert "2:5" in content
+
+    def test_comments_round_trip(self, tmp_path):
+        path = tmp_path / "data.dat"
+        dump_ranking_file(
+            path, np.array([[1.0]]), [1.0], [1], comments=["cuba talks"]
+        )
+        __, __, __, comments = load_ranking_file(path)
+        assert comments == ["cuba talks"]
+
+    def test_misaligned_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            dump_ranking_file(tmp_path / "x", np.zeros((2, 1)), [1.0], [1, 2])
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1.0 nofqid 1:2\n")
+        with pytest.raises(ValueError, match="qid"):
+            load_ranking_file(path)
+
+    def test_descending_indices_rejected(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1.0 qid:1 2:1 1:1\n")
+        with pytest.raises(ValueError, match="ascend"):
+            load_ranking_file(path)
+
+    def test_blank_and_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.dat"
+        path.write_text("# header\n\n0.5 qid:3 1:1\n")
+        __, labels, groups, __c = load_ranking_file(path)
+        assert labels.tolist() == [0.5]
+        assert groups.tolist() == [3]
+
+    @given(
+        st.integers(2, 5),
+        st.integers(1, 4),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, rows, cols, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(rows, cols)).round(3)
+        labels = rng.random(rows).round(3)
+        groups = rng.integers(0, 3, rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prop.dat"
+            dump_ranking_file(path, features, labels, groups)
+            loaded_x, loaded_y, loaded_g, __ = load_ranking_file(path)
+        assert loaded_x.shape[0] == rows
+        # widths may differ if trailing columns were all zero
+        assert loaded_x.shape[1] <= cols
+
+
+class TestPairedBootstrap:
+    def make_data(self, quality_b=0.9, groups=40, seed=0):
+        """System B orders groups correctly with prob quality_b; A at 0.5."""
+        rng = np.random.default_rng(seed)
+        labels, a_scores, b_scores, group_ids = [], [], [], []
+        for group in range(groups):
+            ctrs = rng.random(4)
+            labels.extend(ctrs)
+            a_scores.extend(rng.random(4))
+            if rng.random() < quality_b:
+                b_scores.extend(ctrs)  # perfect ordering
+            else:
+                b_scores.extend(-ctrs)  # inverted
+            group_ids.extend([group] * 4)
+        return labels, a_scores, b_scores, group_ids
+
+    def test_clear_improvement_significant(self):
+        labels, a, b, g = self.make_data(quality_b=0.95)
+        result = paired_bootstrap(labels, a, b, g, resamples=500)
+        assert result.wer_b < result.wer_a
+        assert result.delta_mean > 0
+        assert result.significant
+
+    def test_no_improvement_not_significant(self):
+        labels, a, __, g = self.make_data()
+        rng = np.random.default_rng(1)
+        b = rng.random(len(a))
+        result = paired_bootstrap(labels, a, b, g, resamples=500)
+        assert not result.significant
+
+    def test_identical_systems(self):
+        labels, a, __, g = self.make_data()
+        result = paired_bootstrap(labels, a, a, g, resamples=200)
+        assert result.delta_mean == pytest.approx(0.0)
+        assert not result.significant
+
+    def test_deterministic(self):
+        labels, a, b, g = self.make_data()
+        first = paired_bootstrap(labels, a, b, g, resamples=200, seed=3)
+        second = paired_bootstrap(labels, a, b, g, resamples=200, seed=3)
+        assert first.delta_mean == second.delta_mean
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [], [], [], resamples=10)
+
+
+class TestFigures:
+    def results(self):
+        return [
+            EvalResult("random", 0.50, 0.50, {1: 0.44, 2: 0.54, 3: 0.61}),
+            EvalResult("learned", 0.17, 0.25, {1: 0.72, 2: 0.80, 3: 0.84}),
+        ]
+
+    def test_bar_full_and_empty(self):
+        assert render_bar(1.0, width=10) == "#" * 10
+        assert render_bar(0.0, width=10) == "." * 10
+
+    def test_bar_clamps(self):
+        assert render_bar(2.0, width=10) == "#" * 10
+        assert render_bar(-1.0, width=10) == "." * 10
+
+    def test_bar_zero_peak(self):
+        assert render_bar(1.0, width=5, peak=0.0) == "." * 5
+
+    def test_ndcg_figure_structure(self):
+        lines = render_ndcg_figure(self.results())
+        assert lines[0] == "ndcg@1"
+        assert any("learned" in line and "0.720" in line for line in lines)
+        # 3 cutoffs x (1 header + 2 bars)
+        assert len(lines) == 9
+
+    def test_wer_figure_values(self):
+        lines = render_wer_figure(self.results())
+        assert any("50.00%" in line for line in lines)
+        assert any("17.00%" in line for line in lines)
+        # the learned bar must be visibly shorter
+        random_bar = lines[0].count("#")
+        learned_bar = lines[1].count("#")
+        assert learned_bar < random_bar

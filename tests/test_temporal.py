@@ -1,0 +1,121 @@
+"""Tests for temporal query logs, world events, and trend features."""
+
+import numpy as np
+import pytest
+
+from repro.querylog import (
+    QueryLog,
+    TemporalQueryLog,
+    WorldEvent,
+    event_boosts,
+    generate_temporal_query_log,
+    generate_world_events,
+)
+from repro.querylog.temporal import boosted_concepts
+
+
+class TestWorldEvents:
+    def test_generation_within_bounds(self, env_world):
+        rng = np.random.default_rng(0)
+        events = generate_world_events(rng, env_world.concepts, weeks=6)
+        assert events
+        for event in events:
+            assert 0 <= event.week < 6
+            assert event.intensity >= 2.0
+            assert not env_world.concepts[event.concept_id].is_junk
+
+    def test_event_boosts_by_week(self):
+        events = [
+            WorldEvent(week=1, concept_id=5, intensity=3.0),
+            WorldEvent(week=1, concept_id=5, intensity=4.0),
+            WorldEvent(week=2, concept_id=7, intensity=2.0),
+        ]
+        boosts = event_boosts(events, 1)
+        assert boosts == {5: 4.0}  # max intensity wins
+        assert event_boosts(events, 0) == {}
+
+    def test_boosted_concepts(self, env_world):
+        concept = next(c for c in env_world.concepts if not c.is_junk)
+        boosted = boosted_concepts(env_world.concepts, {concept.concept_id: 3.0})
+        replacement = boosted[concept.concept_id]
+        assert replacement.interestingness == pytest.approx(
+            min(1.0, concept.interestingness * 3.0)
+        )
+        # untouched concepts are the same objects
+        other = (concept.concept_id + 1) % len(env_world.concepts)
+        assert boosted[other] is env_world.concepts[other]
+
+
+class TestTemporalQueryLog:
+    def make(self, volumes):
+        logs = [QueryLog.from_strings({"spiky concept": v, "base": 50}) for v in volumes]
+        return TemporalQueryLog(logs)
+
+    def test_requires_weeks(self):
+        with pytest.raises(ValueError):
+            TemporalQueryLog([])
+
+    def test_weekly_frequencies(self):
+        temporal = self.make([10, 20, 30])
+        assert temporal.weekly_frequencies(("spiky", "concept")) == [10, 20, 30]
+
+    def test_spike_ratio_flat_is_one(self):
+        temporal = self.make([50, 50, 50, 50, 50])
+        assert temporal.spike_ratio(("spiky", "concept")) == pytest.approx(1.0)
+
+    def test_spike_ratio_detects_burst(self):
+        temporal = self.make([10, 10, 10, 10, 200])
+        assert temporal.spike_ratio(("spiky", "concept")) > 10.0
+
+    def test_spike_ratio_cold_concept_near_one(self):
+        temporal = self.make([10, 10, 10])
+        assert temporal.spike_ratio(("never", "seen")) == pytest.approx(1.0)
+
+    def test_momentum_signs(self):
+        temporal = self.make([10, 100, 5])
+        assert temporal.momentum(("spiky", "concept"), week=1) > 0
+        assert temporal.momentum(("spiky", "concept"), week=2) < 0
+
+    def test_momentum_first_week(self):
+        temporal = self.make([10])
+        assert temporal.momentum(("spiky", "concept"), week=0) > 0
+
+    def test_latest(self):
+        temporal = self.make([1, 2, 3])
+        assert temporal.latest.freq_phrase_contained(("spiky", "concept")) == 3
+
+
+class TestGenerateTemporalLog:
+    def test_event_week_spikes_volume(self, env_world):
+        rng = np.random.default_rng(3)
+        concept = max(
+            (c for c in env_world.concepts if not c.is_junk),
+            key=lambda c: c.interestingness * (c.interestingness < 0.4),
+        )
+        events = [WorldEvent(week=2, concept_id=concept.concept_id, intensity=6.0)]
+        temporal = generate_temporal_query_log(
+            rng,
+            env_world.concepts,
+            env_world.topics,
+            env_world.vocabulary,
+            weeks=4,
+            events=events,
+            noise_query_count=500,
+        )
+        volumes = temporal.weekly_frequencies(tuple(concept.terms))
+        quiet = [v for week, v in enumerate(volumes) if week != 2]
+        assert volumes[2] > max(quiet)
+        assert temporal.spike_ratio(tuple(concept.terms), week=2) > 1.5
+
+    def test_weeks_are_independent_draws(self, env_world):
+        rng = np.random.default_rng(4)
+        temporal = generate_temporal_query_log(
+            rng,
+            env_world.concepts[:50],
+            env_world.topics,
+            env_world.vocabulary,
+            weeks=2,
+            noise_query_count=200,
+        )
+        assert len(temporal) == 2
+        assert dict(temporal.week(0).items()) != dict(temporal.week(1).items())

@@ -1,0 +1,175 @@
+"""Tests for HTML stripping and tf*idf vectorization."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import (
+    DocumentFrequencyTable,
+    TermVector,
+    is_stopword,
+    strip_html,
+    term_frequencies,
+)
+
+
+class TestStripHtml:
+    def test_plain_text_unchanged(self):
+        assert strip_html("hello world") == "hello world"
+
+    def test_tags_removed(self):
+        assert "world" in strip_html("<b>world</b>")
+        assert "<" not in strip_html("<b>world</b>")
+
+    def test_block_tags_become_paragraphs(self):
+        text = strip_html("<p>one</p><p>two</p>")
+        assert text.split("\n\n") == ["one", "two"]
+
+    def test_script_and_style_bodies_removed(self):
+        markup = "<script>var x = 'evil';</script>visible<style>p{}</style>"
+        text = strip_html(markup)
+        assert "evil" not in text
+        assert "visible" in text
+
+    def test_comments_removed(self):
+        assert "secret" not in strip_html("a<!-- secret -->b")
+
+    def test_entities_unescaped(self):
+        assert strip_html("Tom &amp; Jerry") == "Tom & Jerry"
+
+    @given(st.text(max_size=300))
+    def test_never_raises(self, markup):
+        strip_html(markup)
+
+
+class TestStopwords:
+    def test_function_words(self):
+        assert is_stopword("the")
+        assert is_stopword("The")
+        assert is_stopword("and")
+
+    def test_content_words_kept(self):
+        assert not is_stopword("cuba")
+        assert not is_stopword("insurance")
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        counts = term_frequencies("cuba cuba talks")
+        assert counts["cuba"] == 2
+        assert counts["talks"] == 1
+
+    def test_stopwords_removed_by_default(self):
+        counts = term_frequencies("the talks with cuba")
+        assert "the" not in counts
+        assert "with" not in counts
+
+    def test_stopwords_kept_when_disabled(self):
+        counts = term_frequencies("the talks", remove_stopwords=False)
+        assert counts["the"] == 1
+
+
+class TestDocumentFrequencyTable:
+    def build(self):
+        table = DocumentFrequencyTable()
+        table.add_document(["cuba", "talks"])
+        table.add_document(["cuba", "election"])
+        table.add_document(["weather"])
+        return table
+
+    def test_document_frequency(self):
+        table = self.build()
+        assert table.document_frequency("cuba") == 2
+        assert table.document_frequency("weather") == 1
+        assert table.document_frequency("unseen") == 0
+
+    def test_duplicates_in_one_doc_count_once(self):
+        table = DocumentFrequencyTable()
+        table.add_document(["a", "a", "a"])
+        assert table.document_frequency("a") == 1
+
+    def test_idf_ordering(self):
+        table = self.build()
+        assert table.idf("weather") > table.idf("cuba")
+        assert table.idf("unseen") > table.idf("weather")
+
+    def test_idf_positive(self):
+        table = self.build()
+        for term in ["cuba", "weather", "unseen"]:
+            assert table.idf(term) > 0
+
+    def test_tf_idf_scales_with_count(self):
+        table = self.build()
+        scores = table.tf_idf({"cuba": 3, "weather": 1})
+        assert scores["cuba"] == pytest.approx(3 * table.idf("cuba"))
+
+    def test_from_documents(self):
+        table = DocumentFrequencyTable.from_documents([["a"], ["a", "b"]])
+        assert table.total_documents == 2
+        assert table.document_frequency("a") == 2
+
+
+class TestTermVector:
+    def test_normalized_max_is_one(self):
+        vector = TermVector({"a": 2.0, "b": 1.0}).normalized()
+        assert vector["a"] == pytest.approx(1.0)
+        assert vector["b"] == pytest.approx(0.5)
+
+    def test_normalized_empty(self):
+        assert len(TermVector().normalized()) == 0
+
+    def test_punished_below(self):
+        vector = TermVector({"a": 0.9, "b": 0.2}).punished_below(0.5, factor=0.5)
+        assert vector["a"] == pytest.approx(0.9)
+        assert vector["b"] == pytest.approx(0.1)
+
+    def test_pruned_below(self):
+        vector = TermVector({"a": 0.9, "b": 0.05}).pruned_below(0.1)
+        assert "a" in vector
+        assert "b" not in vector
+
+    def test_top_sorted_desc_with_alpha_ties(self):
+        vector = TermVector({"b": 1.0, "a": 1.0, "c": 0.5})
+        assert vector.top(2) == [("a", 1.0), ("b", 1.0)]
+
+    def test_cosine_identical(self):
+        vector = TermVector({"a": 1.0, "b": 2.0})
+        assert vector.cosine_similarity(vector) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert TermVector({"a": 1.0}).cosine_similarity(TermVector({"b": 1.0})) == 0.0
+
+    def test_cosine_empty(self):
+        assert TermVector().cosine_similarity(TermVector({"a": 1.0})) == 0.0
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.floats(min_value=0.0, max_value=100.0),
+            max_size=10,
+        )
+    )
+    def test_normalized_bounds(self, weights):
+        vector = TermVector(weights).normalized()
+        for __, weight in vector.items():
+            assert 0.0 <= weight <= 1.0 + 1e-9
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_cosine_symmetric_and_bounded(self, weights):
+        items = sorted(weights.items())
+        half = len(items) // 2
+        left = TermVector(dict(items[:half]))
+        right = TermVector(dict(items[half:]))
+        forward = left.cosine_similarity(right)
+        backward = right.cosine_similarity(left)
+        assert forward == pytest.approx(backward)
+        assert -1e-9 <= forward <= 1.0 + 1e-9

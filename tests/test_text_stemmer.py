@@ -1,0 +1,131 @@
+"""Tests for the Porter stemmer against the published algorithm's examples."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import PorterStemmer, stem
+
+STEMMER = PorterStemmer()
+
+# (input, expected) pairs taken from Porter's 1980 paper examples.
+PORTER_PAPER_CASES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", PORTER_PAPER_CASES)
+def test_porter_paper_examples(word, expected):
+    assert STEMMER.stem(word) == expected
+
+
+class TestStemBasics:
+    def test_short_words_unchanged(self):
+        assert STEMMER.stem("at") == "at"
+        assert STEMMER.stem("i") == "i"
+
+    def test_idempotent_on_common_words(self):
+        for word in ["running", "relational", "caresses", "plastered"]:
+            once = STEMMER.stem(word)
+            assert STEMMER.stem(once) == STEMMER.stem(once)
+
+    def test_module_level_stem_lowercases(self):
+        assert stem("Running") == STEMMER.stem("running")
+
+    def test_plural_families_collapse(self):
+        assert STEMMER.stem("connections") == STEMMER.stem("connection")
+        assert STEMMER.stem("connected") == STEMMER.stem("connecting")
+
+
+class TestStemProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=1, max_size=20))
+    def test_never_raises_never_grows_much(self, word):
+        result = STEMMER.stem(word)
+        assert isinstance(result, str)
+        # stems may grow by at most one char (e.g. "at" -> "ate" rules add 'e')
+        assert len(result) <= len(word) + 1
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=1, max_size=20))
+    def test_deterministic(self, word):
+        assert STEMMER.stem(word) == STEMMER.stem(word)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                   min_size=3, max_size=15))
+    def test_stem_is_nonempty_for_nonempty_input(self, word):
+        assert STEMMER.stem(word)

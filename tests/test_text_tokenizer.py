@@ -1,0 +1,121 @@
+"""Tests for tokenization, sentence and paragraph boundaries."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import Token, paragraphs, sentences, tokenize, tokenize_lower
+from repro.text.tokenizer import iter_ngrams
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        tokens = tokenize("hello world")
+        assert [t.text for t in tokens] == ["hello", "world"]
+
+    def test_offsets_recover_source(self):
+        text = "President Bush's position was similar."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_apostrophes_kept_inside_words(self):
+        tokens = tokenize("don't stop O'Brien")
+        assert [t.text for t in tokens] == ["don't", "stop", "O'Brien"]
+
+    def test_numbers_with_separators(self):
+        tokens = tokenize("1,234.5 units")
+        assert tokens[0].text == "1,234.5"
+
+    def test_punctuation_is_separate_tokens(self):
+        tokens = tokenize("Wait, what?!")
+        assert [t.text for t in tokens] == ["Wait", ",", "what", "?", "!"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_is_word(self):
+        tokens = tokenize("abc , 42")
+        assert tokens[0].is_word()
+        assert not tokens[1].is_word()
+        assert not tokens[2].is_word()
+
+    def test_token_lower(self):
+        assert Token("Texas", 0, 5).lower == "texas"
+
+
+class TestTokenizeLower:
+    def test_drops_punctuation_and_lowercases(self):
+        assert tokenize_lower("Hello, World!") == ["hello", "world"]
+
+    def test_snippet_from_paper(self):
+        words = tokenize_lower("argued at a debate with Obama last week in Texas")
+        assert "obama" in words
+        assert "texas" in words
+
+    @given(st.text(max_size=200))
+    def test_never_raises_and_all_lowercase(self, text):
+        words = tokenize_lower(text)
+        assert all(word == word.lower() for word in words)
+
+    @given(st.text(max_size=200))
+    def test_word_tokens_start_alpha(self, text):
+        for word in tokenize_lower(text):
+            assert word[0].isalpha()
+
+
+class TestSentences:
+    def test_basic_split(self):
+        parts = sentences("This is one. This is two.")
+        assert len(parts) == 2
+
+    def test_abbreviation_not_split(self):
+        parts = sentences("Sen. Clinton argued. Obama replied.")
+        assert len(parts) == 2
+        assert parts[0].startswith("Sen. Clinton")
+
+    def test_question_and_exclamation(self):
+        parts = sentences("Really? Yes! Fine.")
+        assert len(parts) == 3
+
+    def test_no_terminator(self):
+        assert sentences("no terminator here") == ["no terminator here"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+
+class TestParagraphs:
+    def test_blank_line_split(self):
+        parts = paragraphs("para one\n\npara two\n\n\npara three")
+        assert parts == ["para one", "para two", "para three"]
+
+    def test_single_newline_not_split(self):
+        assert paragraphs("line one\nline two") == ["line one\nline two"]
+
+    def test_empty(self):
+        assert paragraphs("   \n\n  ") == []
+
+
+class TestIterNgrams:
+    def test_all_ngrams_up_to_len(self):
+        grams = list(iter_ngrams(["a", "b", "c"], 2))
+        assert ("a",) in grams
+        assert ("a", "b") in grams
+        assert ("b", "c") in grams
+        assert ("a", "b", "c") not in grams
+
+    def test_counts(self):
+        grams = list(iter_ngrams(["a", "b", "c", "d"], 3))
+        # 4 unigrams + 3 bigrams + 2 trigrams
+        assert len(grams) == 9
+
+    @given(st.lists(st.text(min_size=1, max_size=4), max_size=8), st.integers(1, 4))
+    def test_every_ngram_is_contiguous_subsequence(self, words, max_len):
+        for gram in iter_ngrams(words, max_len):
+            assert len(gram) <= max_len
+            joined = list(gram)
+            # must appear contiguously in words
+            found = any(
+                words[i : i + len(joined)] == joined
+                for i in range(len(words) - len(joined) + 1)
+            )
+            assert found

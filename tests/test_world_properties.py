@@ -1,0 +1,89 @@
+"""Property-based invariants of the synthetic world across configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import SyntheticWorld, WorldConfig
+from repro.text.vectorize import DocumentFrequencyTable
+
+config_strategy = st.builds(
+    WorldConfig,
+    seed=st.integers(0, 2**16),
+    vocabulary_size=st.integers(400, 900),
+    topic_count=st.integers(2, 6),
+    words_per_topic=st.integers(20, 40),
+    concept_count=st.integers(20, 60),
+    named_entity_fraction=st.floats(0.0, 1.0),
+    junk_fraction=st.floats(0.0, 0.1),
+    topic_page_count=st.integers(10, 40),
+)
+
+
+class TestWorldInvariants:
+    @given(config_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_any_valid_config_builds_consistently(self, config):
+        world = SyntheticWorld.build(config)
+        # sizes
+        assert len(world.vocabulary) == config.vocabulary_size
+        assert len(world.topics) == config.topic_count
+        assert len(world.concepts) == config.concept_count
+        # ids dense and phrases unique
+        assert [c.concept_id for c in world.concepts] == list(
+            range(config.concept_count)
+        )
+        phrases = [c.phrase for c in world.concepts]
+        assert len(set(phrases)) == len(phrases)
+        # latents bounded
+        for concept in world.concepts:
+            assert 0.0 <= concept.interestingness <= 1.0
+            assert 0.0 <= concept.specificity <= 1.0
+            for topic in concept.home_topics:
+                assert 0 <= topic < config.topic_count
+        # document frequency table covers the corpus
+        assert world.doc_frequency.total_documents == len(world.web_corpus)
+        # dictionary only contains named entities
+        for phrase in world.dictionary.phrases():
+            concept = world.concept_by_phrase(phrase)
+            assert concept.is_named_entity
+
+    @given(config_strategy)
+    @settings(max_examples=5, deadline=None)
+    def test_mentions_always_match_surface(self, config):
+        world = SyntheticWorld.build(config)
+        stories = world.story_generator(seed=1).generate_many(3)
+        by_id = {c.concept_id: c for c in world.concepts}
+        for story in stories:
+            for mention in story.mentions:
+                assert (
+                    story.text[mention.start : mention.end]
+                    == by_id[mention.concept_id].phrase
+                )
+                assert 0.0 <= mention.relevance <= 1.0
+
+
+class TestRawIdf:
+    def build(self):
+        table = DocumentFrequencyTable()
+        table.add_document(["common", "rare"])
+        table.add_document(["common"])
+        table.add_document(["common"])
+        return table
+
+    def test_raw_idf_ordering(self):
+        table = self.build()
+        assert table.raw_idf("rare") > table.raw_idf("common")
+        assert table.raw_idf("unseen") > table.raw_idf("rare")
+
+    def test_ubiquitous_term_near_zero(self):
+        table = self.build()
+        assert table.raw_idf("common") == pytest.approx(
+            np.log(4 / 4), abs=0.3
+        )
+
+    def test_raw_idf_below_floored_idf(self):
+        table = self.build()
+        for term in ("common", "rare", "unseen"):
+            assert table.raw_idf(term) < table.idf(term)
