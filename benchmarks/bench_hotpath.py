@@ -1,0 +1,270 @@
+"""Hot-path microbenchmark: seed multi-pass vs. single-pass service.
+
+The seed runtime tokenized every document five times (stemmer pass,
+named matcher, concept matcher, concept-vector scorer, and the ranker's
+relevance context) and matched phrases with per-position tuple slicing.
+The single-pass refactor shares one ``TokenizedDocument`` across all
+stages and walks a token trie instead.
+
+This benchmark runs both shapes over the same document batch and
+records:
+
+* tokenizer invocations per document (seed: 5, single-pass: 1),
+* stemmer/ranker throughput in MB/s for both paths,
+* a parallel `process_batch(workers=N)` equivalence + throughput check,
+
+and writes a machine-readable snapshot to ``BENCH_hotpath.json`` so
+future PRs have a throughput trajectory to compare against.
+
+Run standalone (``python benchmarks/bench_hotpath.py [--smoke]``) or
+under pytest (``PYTHONPATH=src pytest benchmarks/bench_hotpath.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
+    if path not in sys.path:  # allow `python benchmarks/bench_hotpath.py`
+        sys.path.insert(0, path)
+
+import numpy as np
+
+from _report import record_section
+from repro.corpus import WorldConfig, SyntheticWorld
+from repro.detection import (
+    ConceptDetector,
+    ConceptVectorScorer,
+    KIND_PATTERN,
+    NamedEntityDetector,
+    ShortcutsPipeline,
+    deduplicate,
+    detectable_concept_phrases,
+    resolve_collisions,
+)
+from repro.detection.pipeline import AnnotatedDocument
+from repro.features import (
+    InterestingnessExtractor,
+    RelevanceModel,
+    RelevantKeywordMiner,
+    build_stemmed_df,
+    stemmed_terms,
+)
+from repro.querylog import UnitMiner, query_log_for_world
+from repro.ranking import RankSVM
+from repro.runtime import (
+    PackedRelevanceStore,
+    QuantizedInterestingnessStore,
+    RankerService,
+)
+from repro.search import PrismaTool, SearchEngine, SnippetService, SuggestionService
+from repro.text import reset_tokenize_call_count, tokenize_call_count
+
+SNAPSHOT_PATH = os.path.join(_HERE, "BENCH_hotpath.json")
+
+HOTPATH_WORLD = WorldConfig(
+    seed=7,
+    vocabulary_size=2000,
+    topic_count=24,
+    words_per_topic=50,
+    concept_count=220,
+    topic_page_count=150,
+)
+DOCUMENT_COUNT = int(os.environ.get("REPRO_BENCH_HOTPATH_DOCS", "300"))
+SMOKE_DOCUMENT_COUNT = 40
+RELEVANCE_PHRASES = 40
+BATCH_WORKERS = 4
+
+
+def build_service(document_count):
+    """A RankerService over a small deterministic world, plus documents."""
+    world = SyntheticWorld.build(HOTPATH_WORLD)
+    log = query_log_for_world(world)
+    lexicon = UnitMiner().mine(log)
+    engine = SearchEngine.from_corpus(world.web_corpus)
+    detectable = detectable_concept_phrases(
+        (tuple(c.terms) for c in world.concepts), lexicon, log
+    )
+    pipeline = ShortcutsPipeline(
+        ConceptDetector(detectable, lexicon),
+        ConceptVectorScorer(world.doc_frequency, lexicon),
+        named_detector=NamedEntityDetector(world.dictionary),
+    )
+    extractor = InterestingnessExtractor(
+        log, lexicon, engine, world.dictionary, world.wikipedia
+    )
+    phrases = [c.phrase for c in world.concepts]
+    interestingness = QuantizedInterestingnessStore.build(extractor, phrases)
+    miner = RelevantKeywordMiner(
+        SnippetService(engine),
+        PrismaTool(engine),
+        SuggestionService(log),
+        build_stemmed_df(doc.text for doc in world.web_corpus),
+    )
+    model = RelevanceModel.mine_all(miner, phrases[:RELEVANCE_PHRASES])
+    relevance = PackedRelevanceStore.build(model)
+
+    feature_dim = extractor.extract(phrases[0]).numeric(()).size + 1
+    svm = RankSVM(epochs=30)
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(40, feature_dim))
+    svm.fit(X, X[:, 0], np.repeat(np.arange(8), 5))
+
+    service = RankerService(pipeline, interestingness, relevance, svm)
+    documents = [
+        story.text for story in world.story_generator(seed=4242).generate_many(
+            document_count
+        )
+    ]
+    return service, documents
+
+
+def seed_process(service, text, top=None):
+    """The seed (multi-pass) service shape: one tokenization per stage."""
+    stemmed_terms(text)  # the seed's discarded Stemmer timing pass
+    pipeline = service._pipeline
+    candidates = list(pipeline._patterns.detect(text))
+    if pipeline._named is not None:
+        candidates.extend(pipeline._named.detect(text))
+    candidates.extend(pipeline._concepts.detect(text))
+    resolved = deduplicate(resolve_collisions(candidates))
+    vector = pipeline._scorer.concept_vector(text)
+    scored = [
+        d
+        if d.kind == KIND_PATTERN
+        else d.with_score(pipeline._scorer.score_phrase(vector, d.phrase))
+        for d in resolved
+    ]
+    known = [d for d in scored if d.kind != KIND_PATTERN and d.phrase in service._store]
+    pruned = AnnotatedDocument(text=text, detections=known)  # no shared tokens
+    ranked = service._ranker.rank_document(pruned)
+    return ranked[:top] if top is not None else ranked
+
+
+def run_hotpath_benchmark(document_count=DOCUMENT_COUNT):
+    service, documents = build_service(document_count)
+    total_bytes = sum(len(text.encode("utf-8")) for text in documents)
+
+    # -- seed multi-pass shape --------------------------------------------
+    reset_tokenize_call_count()
+    started = time.perf_counter()
+    seed_results = [seed_process(service, text, top=5) for text in documents]
+    seed_seconds = time.perf_counter() - started
+    seed_calls_per_doc = tokenize_call_count() / len(documents)
+
+    # -- single-pass service ----------------------------------------------
+    service.reset_stats()
+    reset_tokenize_call_count()
+    started = time.perf_counter()
+    single_results = service.process_batch(documents, top=5)
+    single_seconds = time.perf_counter() - started
+    single_calls_per_doc = tokenize_call_count() / len(documents)
+    stats = service.stats
+
+    # -- parallel batch -----------------------------------------------------
+    service.reset_stats()
+    started = time.perf_counter()
+    parallel_results = service.process_batch(
+        documents, top=5, workers=BATCH_WORKERS
+    )
+    parallel_seconds = time.perf_counter() - started
+    parallel_stats = service.stats
+
+    snapshot = {
+        "config": {
+            "documents": len(documents),
+            "bytes": total_bytes,
+            "world_seed": HOTPATH_WORLD.seed,
+            "concepts": HOTPATH_WORLD.concept_count,
+            "workers": BATCH_WORKERS,
+        },
+        "tokenize_calls_per_document": {
+            "seed_path": round(seed_calls_per_doc, 3),
+            "single_pass": round(single_calls_per_doc, 3),
+        },
+        "seed_path": {
+            "seconds": round(seed_seconds, 4),
+            "mb_per_second": round(total_bytes / seed_seconds / 1e6, 4),
+        },
+        "single_pass": {
+            "seconds": round(single_seconds, 4),
+            "mb_per_second": round(total_bytes / single_seconds / 1e6, 4),
+            "stemmer_mb_per_second": round(stats.stemmer_mb_per_second, 4),
+            "ranker_mb_per_second": round(stats.ranker_mb_per_second, 4),
+            "detection_mb_per_second": round(stats.detection_mb_per_second, 4),
+            "feature_mb_per_second": round(stats.feature_mb_per_second, 4),
+        },
+        "parallel_batch": {
+            "workers": BATCH_WORKERS,
+            "seconds": round(parallel_seconds, 4),
+            "mb_per_second": round(total_bytes / parallel_seconds / 1e6, 4),
+            "identical_to_sequential": parallel_results == single_results,
+            "documents": parallel_stats.documents,
+        },
+        "results_identical_to_seed_path": single_results == seed_results,
+    }
+    return snapshot
+
+
+def check_snapshot(snapshot):
+    """The PR's acceptance criteria, enforced on every run."""
+    calls = snapshot["tokenize_calls_per_document"]
+    assert calls["single_pass"] <= 1.0, calls
+    assert calls["seed_path"] >= 2 * calls["single_pass"], calls
+    assert snapshot["results_identical_to_seed_path"]
+    assert snapshot["parallel_batch"]["identical_to_sequential"]
+    assert (
+        snapshot["single_pass"]["mb_per_second"]
+        > snapshot["seed_path"]["mb_per_second"]
+    ), (snapshot["single_pass"], snapshot["seed_path"])
+
+
+def report_lines(snapshot):
+    calls = snapshot["tokenize_calls_per_document"]
+    return [
+        f"documents: {snapshot['config']['documents']}, "
+        f"{snapshot['config']['bytes'] / 1e6:.2f} MB total",
+        f"tokenizer calls/doc: seed path {calls['seed_path']:.1f} -> "
+        f"single-pass {calls['single_pass']:.1f}",
+        f"end-to-end throughput: seed path "
+        f"{snapshot['seed_path']['mb_per_second']:6.3f} MB/s -> single-pass "
+        f"{snapshot['single_pass']['mb_per_second']:6.3f} MB/s",
+        f"single-pass stages: stemmer "
+        f"{snapshot['single_pass']['stemmer_mb_per_second']:6.2f} MB/s, "
+        f"detection {snapshot['single_pass']['detection_mb_per_second']:6.3f} MB/s, "
+        f"features {snapshot['single_pass']['feature_mb_per_second']:6.3f} MB/s, "
+        f"ranker {snapshot['single_pass']['ranker_mb_per_second']:6.3f} MB/s",
+        f"process_batch(workers={snapshot['parallel_batch']['workers']}): "
+        f"{snapshot['parallel_batch']['mb_per_second']:6.3f} MB/s, "
+        f"identical to sequential: "
+        f"{snapshot['parallel_batch']['identical_to_sequential']}",
+    ]
+
+
+def test_hotpath_single_pass():
+    """Pytest entry: run the benchmark and enforce the acceptance bar."""
+    snapshot = run_hotpath_benchmark()
+    check_snapshot(snapshot)
+    with open(SNAPSHOT_PATH, "w") as handle:
+        json.dump(snapshot, handle, indent=1)
+        handle.write("\n")
+    record_section("Hot path — single-pass vs seed multi-pass", report_lines(snapshot))
+
+
+def main(argv):
+    count = SMOKE_DOCUMENT_COUNT if "--smoke" in argv else DOCUMENT_COUNT
+    snapshot = run_hotpath_benchmark(count)
+    check_snapshot(snapshot)
+    if "--smoke" not in argv:  # the snapshot tracks the full-size run only
+        with open(SNAPSHOT_PATH, "w") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    print("\n".join(report_lines(snapshot)))
+    print("hot-path benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -18,6 +18,7 @@ from repro.detection.base import KIND_CONCEPT, Detection
 from repro.detection.matcher import PhraseMatcher
 from repro.querylog.log import QueryLog
 from repro.querylog.units import UnitLexicon
+from repro.text.tokenized import TokenizedDocument
 
 Phrase = Tuple[str, ...]
 
@@ -54,8 +55,13 @@ class ConceptDetector:
 
     def detect(self, text: str) -> List[Detection]:
         """All concept occurrences in *text*."""
+        return self.detect_document(TokenizedDocument.of(text))
+
+    def detect_document(self, document: TokenizedDocument) -> List[Detection]:
+        """`detect` over a shared token stream (no re-tokenizing)."""
+        text = document.text
         detections: List[Detection] = []
-        for phrase, start, end in self._matcher.find(text):
+        for phrase, start, end in self._matcher.find_document(document):
             detections.append(
                 Detection(
                     text=text[start:end],

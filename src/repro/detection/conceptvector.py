@@ -25,7 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.querylog.units import UnitLexicon
 from repro.text.stopwords import is_stopword
-from repro.text.tokenizer import tokenize_lower
+from repro.text.tokenized import DocumentLike, TokenizedDocument
 from repro.text.vectorize import DocumentFrequencyTable, TermVector
 
 
@@ -85,9 +85,13 @@ class ConceptVectorScorer:
 
     # -- merge ---------------------------------------------------------------
 
-    def concept_vector(self, text: str) -> TermVector:
-        """The merged concept vector for *text* (phrase -> score)."""
-        tokens = tokenize_lower(text)
+    def concept_vector(self, text: DocumentLike) -> TermVector:
+        """The merged concept vector for *text* (phrase -> score).
+
+        Accepts a raw string or a shared :class:`TokenizedDocument`; the
+        latter avoids re-tokenizing inside the single-pass pipeline.
+        """
+        tokens = TokenizedDocument.of(text).words
         terms = self.term_vector(tokens)
         units = self.unit_vector(tokens)
 

@@ -2,62 +2,87 @@
 
 Both the dictionary (named entity) and concept detectors reduce to the
 same operation: find occurrences of a large phrase inventory in a
-document.  The matcher indexes phrases by first term (the "data-pack"
-hash tables of the paper's framework) and takes the longest match at
-each position.
+document.  The matcher stores the inventory in a token trie (the
+"data-pack" hash tables of the paper's framework) and walks each
+document position once, extending the match term by term and keeping
+the deepest terminal node — longest-match-wins without materializing a
+candidate tuple per inventory phrase per position.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.text.tokenizer import tokenize
+from repro.text.tokenized import DocumentLike, TokenizedDocument
 
 Phrase = Tuple[str, ...]
+
+# Trie terminal marker.  `None` cannot collide with a term key (terms
+# are strings), and keeps node lookups to a single dict probe.
+_END = None
 
 
 class PhraseMatcher:
     """Longest-match detection of a fixed phrase inventory."""
 
     def __init__(self, phrases: Iterable[Phrase]):
-        self._by_first: Dict[str, List[Phrase]] = {}
+        self._trie: Dict = {}
+        self._size = 0
         self.max_length = 0
         for phrase in phrases:
             phrase = tuple(term.lower() for term in phrase)
             if not phrase:
                 continue
-            self._by_first.setdefault(phrase[0], []).append(phrase)
-            self.max_length = max(self.max_length, len(phrase))
-        # longest-first so the first hit at a position is the longest
-        for candidates in self._by_first.values():
-            candidates.sort(key=len, reverse=True)
+            node = self._trie
+            for term in phrase:
+                node = node.setdefault(term, {})
+            if _END not in node:  # deduplicate the inventory at insert
+                node[_END] = phrase
+                self._size += 1
+                self.max_length = max(self.max_length, len(phrase))
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._by_first.values())
+        """Number of distinct phrases in the inventory."""
+        return self._size
 
-    def find(self, text: str) -> List[Tuple[Phrase, int, int]]:
+    def find(self, text: DocumentLike) -> List[Tuple[Phrase, int, int]]:
         """All (phrase, char_start, char_end) matches, document order.
 
         Matches are non-overlapping: after a match the scan resumes past
         it (longest-match-wins, as in the production segmentation).
+        Accepts either a raw string or a shared :class:`TokenizedDocument`.
         """
-        word_tokens = [token for token in tokenize(text) if token.is_word()]
-        words = [token.lower for token in word_tokens]
+        return self.find_document(TokenizedDocument.of(text))
+
+    def find_document(
+        self, document: TokenizedDocument
+    ) -> List[Tuple[Phrase, int, int]]:
+        """`find` over an already-tokenized document (no re-tokenizing)."""
+        word_tokens = document.word_tokens
+        words = document.words
         matches: List[Tuple[Phrase, int, int]] = []
         index = 0
         count = len(words)
+        trie = self._trie
         while index < count:
-            matched = None
-            for phrase in self._by_first.get(words[index], ()):
-                size = len(phrase)
-                if index + size <= count and tuple(words[index : index + size]) == phrase:
-                    matched = phrase
+            node = trie
+            matched: Phrase = ()
+            matched_end = index
+            scan = index
+            while scan < count:
+                node = node.get(words[scan])
+                if node is None:
                     break
-            if matched is None:
+                scan += 1
+                phrase = node.get(_END)
+                if phrase is not None:
+                    matched = phrase
+                    matched_end = scan
+            if not matched:
                 index += 1
                 continue
             start = word_tokens[index].start
-            end = word_tokens[index + len(matched) - 1].end
+            end = word_tokens[matched_end - 1].end
             matches.append((matched, start, end))
-            index += len(matched)
+            index = matched_end
         return matches

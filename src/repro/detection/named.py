@@ -16,6 +16,7 @@ from typing import List
 from repro.corpus.dictionaries import EditorialDictionary
 from repro.detection.base import KIND_NAMED, Detection
 from repro.detection.matcher import PhraseMatcher
+from repro.text.tokenized import TokenizedDocument
 
 
 class NamedEntityDetector:
@@ -29,7 +30,12 @@ class NamedEntityDetector:
 
     def detect(self, text: str) -> List[Detection]:
         """All dictionary entities in *text* with resolved types."""
-        matches = self._matcher.find(text)
+        return self.detect_document(TokenizedDocument.of(text))
+
+    def detect_document(self, document: TokenizedDocument) -> List[Detection]:
+        """`detect` over a shared token stream (no re-tokenizing)."""
+        text = document.text
+        matches = self._matcher.find_document(document)
         # first pass: count unambiguous types in the document as context
         context_types: Counter = Counter()
         for phrase, __, __end in matches:

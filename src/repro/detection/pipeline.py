@@ -11,6 +11,7 @@ production system.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -20,14 +21,23 @@ from repro.detection.conceptvector import ConceptVectorScorer
 from repro.detection.named import NamedEntityDetector
 from repro.detection.patterns import PatternDetector
 from repro.text.html import strip_html
+from repro.text.tokenized import DocumentLike, TokenizedDocument
 
 
 @dataclass
 class AnnotatedDocument:
-    """Pipeline output: plain text plus scored, collision-free detections."""
+    """Pipeline output: plain text plus scored, collision-free detections.
+
+    *tokens* is the shared token stream the pipeline analysed, carried
+    along so downstream consumers (the ranker's relevance context) can
+    reuse it instead of re-tokenizing; it never affects equality.
+    """
 
     text: str
     detections: List[Detection] = field(default_factory=list)
+    tokens: Optional[TokenizedDocument] = field(
+        default=None, repr=False, compare=False
+    )
 
     def rankable(self) -> List[Detection]:
         """Detections subject to ranking (pattern entities are always shown)."""
@@ -54,14 +64,24 @@ def resolve_collisions(detections: List[Detection]) -> List[Detection]:
     """Drop overlapping detections, keeping the higher-priority span.
 
     Priority: longer span first, then pattern > named > concept.
+
+    The kept spans are pairwise non-overlapping, so ordered by
+    ``(start, end)`` their end offsets are non-decreasing; a candidate
+    then collides iff the last kept span starting before its end runs
+    past its start.  That one bisect replaces the seed's O(n^2)
+    all-pairs overlap scan.
     """
     ordered = sorted(
         detections, key=lambda d: (-d.priority()[0], -d.priority()[1], d.start)
     )
     kept: List[Detection] = []
+    spans: List[tuple] = []  # kept (start, end), kept sorted
     for candidate in ordered:
-        if any(candidate.overlaps(existing) for existing in kept):
+        # spans with start < candidate.end are the only overlap risks
+        before = bisect_left(spans, (candidate.end,))
+        if before and spans[before - 1][1] > candidate.start:
             continue
+        insort(spans, (candidate.start, candidate.end))
         kept.append(candidate)
     kept.sort(key=lambda d: d.start)
     return kept
@@ -95,23 +115,34 @@ class ShortcutsPipeline:
         self._named = named_detector
         self._patterns = pattern_detector or PatternDetector()
 
-    def process(self, document: str, is_html: bool = False) -> AnnotatedDocument:
-        """Run the full pipeline on *document*."""
-        text = strip_html(document) if is_html else document
+    def process(self, document: DocumentLike, is_html: bool = False) -> AnnotatedDocument:
+        """Run the full pipeline on *document* (a string or shared tokens)."""
+        if is_html:
+            document = strip_html(
+                document.text
+                if isinstance(document, TokenizedDocument)
+                else document
+            )
+        return self.process_document(TokenizedDocument.of(document))
+
+    def process_document(self, document: TokenizedDocument) -> AnnotatedDocument:
+        """The single-pass pipeline: every stage reads *document*'s
+        shared token stream; the document is tokenized at most once."""
+        text = document.text
 
         candidates: List[Detection] = []
         candidates.extend(self._patterns.detect(text))
         if self._named is not None:
-            candidates.extend(self._named.detect(text))
-        candidates.extend(self._concepts.detect(text))
+            candidates.extend(self._named.detect_document(document))
+        candidates.extend(self._concepts.detect_document(document))
 
         resolved = deduplicate(resolve_collisions(candidates))
 
-        vector = self._scorer.concept_vector(text)
+        vector = self._scorer.concept_vector(document)
         scored = [
             d
             if d.kind == KIND_PATTERN
             else d.with_score(self._scorer.score_phrase(vector, d.phrase))
             for d in resolved
         ]
-        return AnnotatedDocument(text=text, detections=scored)
+        return AnnotatedDocument(text=text, detections=scored, tokens=document)

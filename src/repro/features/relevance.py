@@ -30,6 +30,7 @@ from repro.search.snippets import SnippetService
 from repro.search.suggestions import SuggestionService
 from repro.text.stemmer import stem
 from repro.text.stopwords import is_stopword
+from repro.text.tokenized import DocumentLike, TokenizedDocument
 from repro.text.tokenizer import tokenize_lower
 from repro.text.vectorize import DocumentFrequencyTable
 
@@ -43,8 +44,14 @@ RESOURCE_SUGGESTIONS = "suggestions"
 RESOURCES = (RESOURCE_SNIPPETS, RESOURCE_PRISMA, RESOURCE_SUGGESTIONS)
 
 
-def stemmed_terms(text: str) -> List[str]:
-    """Stemmed, lower-cased, stopword-free content terms of *text*."""
+def stemmed_terms(text: DocumentLike) -> List[str]:
+    """Stemmed, lower-cased, stopword-free content terms of *text*.
+
+    A :class:`TokenizedDocument` returns its cached stemmed view (treat
+    the result as read-only); a raw string is analysed from scratch.
+    """
+    if isinstance(text, TokenizedDocument):
+        return text.stemmed_terms
     return [stem(word) for word in tokenize_lower(text) if not is_stopword(word)]
 
 
@@ -172,8 +179,10 @@ class RelevanceScorer:
         self._model = model
 
     @staticmethod
-    def context_stems(text: str) -> Set[str]:
+    def context_stems(text: DocumentLike) -> Set[str]:
         """The stemmed term set of a context, computed once per document."""
+        if isinstance(text, TokenizedDocument):
+            return text.stem_set
         return set(stemmed_terms(text))
 
     def score(self, phrase: str, context: Set[str]) -> float:

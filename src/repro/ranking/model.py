@@ -9,6 +9,7 @@ tie-breaker (Section V-A.6).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -20,6 +21,7 @@ from repro.features.interestingness import InterestingnessExtractor
 from repro.features.relevance import RelevanceScorer
 from repro.ranking.baselines import tie_break_by_relevance
 from repro.ranking.ranksvm import RankSVM
+from repro.text.tokenized import DocumentLike
 
 
 @dataclass
@@ -52,8 +54,12 @@ class FeatureAssembler:
         """Feature matrix for many phrases sharing one context."""
         return np.vstack([self.vector(phrase, context) for phrase in phrases])
 
-    def context_of(self, text: str) -> Optional[Set[str]]:
-        """Stemmed context set, or None for interestingness-only models."""
+    def context_of(self, text: DocumentLike) -> Optional[Set[str]]:
+        """Stemmed context set, or None for interestingness-only models.
+
+        Passing a :class:`TokenizedDocument` reuses its cached stemmed
+        pass instead of re-tokenizing the context text.
+        """
         if self.relevance_scorer is None:
             return None
         return self.relevance_scorer.context_stems(text)
@@ -82,17 +88,35 @@ class ConceptRanker:
         self._model = model
         self.tie_break_with_relevance = tie_break_with_relevance
 
-    def score_phrases(self, phrases: Sequence[str], text: str) -> np.ndarray:
+    def score_phrases(self, phrases: Sequence[str], text: DocumentLike) -> np.ndarray:
         """Model scores for candidate *phrases* of document *text*."""
+        scores, __ = self.score_phrases_timed(phrases, text)
+        return scores
+
+    def score_phrases_timed(
+        self, phrases: Sequence[str], text: DocumentLike
+    ) -> Tuple[np.ndarray, float]:
+        """(scores, seconds spent on feature lookups/assembly).
+
+        The feature time covers the context stems, the store lookups,
+        and the relevance summations — the per-stage timing the runtime
+        service reports; model inference is excluded.
+        """
         if not phrases:
-            return np.zeros(0)
+            return np.zeros(0), 0.0
+        started = time.perf_counter()
         context = self._assembler.context_of(text)
         features = self._assembler.matrix(phrases, context)
+        relevance = (
+            self._assembler.relevance_of(phrases, context)
+            if self.tie_break_with_relevance
+            else None
+        )
+        feature_seconds = time.perf_counter() - started
         scores = self._model.decision_function(features)
-        if self.tie_break_with_relevance:
-            relevance = self._assembler.relevance_of(phrases, context)
+        if relevance is not None:
             scores = tie_break_by_relevance(scores, relevance)
-        return scores
+        return scores, feature_seconds
 
     def rank_phrases(
         self, phrases: Sequence[str], text: str
@@ -108,13 +132,30 @@ class ConceptRanker:
         This is what replaces the concept-vector ordering in production:
         an application keeps the top N of this list.
         """
+        ranked, __ = self.rank_document_timed(annotated)
+        return ranked
+
+    def rank_document_timed(
+        self, annotated: AnnotatedDocument
+    ) -> Tuple[List[Detection], float]:
+        """`rank_document` plus the feature-lookup seconds it spent.
+
+        When *annotated* carries the pipeline's shared token stream the
+        relevance context reuses it; otherwise the text is re-analysed.
+        """
         rankable = annotated.rankable()
         if not rankable:
-            return []
+            return [], 0.0
         phrases = [d.phrase for d in rankable]
-        scores = self.score_phrases(phrases, annotated.text)
+        # getattr: documents unpickled from pre-single-pass caches lack .tokens
+        tokens = getattr(annotated, "tokens", None)
+        source: DocumentLike = tokens if tokens is not None else annotated.text
+        scores, feature_seconds = self.score_phrases_timed(phrases, source)
         order = np.argsort(-scores, kind="stable")
-        return [rankable[int(i)].with_score(float(scores[int(i)])) for i in order]
+        return (
+            [rankable[int(i)].with_score(float(scores[int(i)])) for i in order],
+            feature_seconds,
+        )
 
     def top_detections(
         self, annotated: AnnotatedDocument, count: int

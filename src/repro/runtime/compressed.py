@@ -19,6 +19,7 @@ from typing import Dict, Optional, Set
 
 from repro.features.quantize import dequantize, quantize
 from repro.features.relevance import RelevanceModel, stemmed_terms
+from repro.text.tokenized import DocumentLike
 from repro.runtime.golomb import BitReader, BitWriter, golomb_decode, golomb_encode
 from repro.runtime.tid import SCORE_BITS, GlobalTidTable, PackedRelevanceStore
 
@@ -91,7 +92,7 @@ class CompressedRelevanceStore:
 
     # -- RelevanceScorer protocol ------------------------------------------
 
-    def context_stems(self, text: str) -> Set[int]:
+    def context_stems(self, text: DocumentLike) -> Set[int]:
         return self._tids.tids_of(stemmed_terms(text))
 
     def score(self, phrase: str, context: Set[int]) -> float:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.features.quantize import dequantize, quantize
 from repro.features.relevance import RelevanceModel, stemmed_terms
+from repro.text.tokenized import DocumentLike
 from repro.runtime.golomb import golomb_encode
 
 TID_BITS = 22
@@ -112,7 +113,7 @@ class PackedRelevanceStore:
 
     # -- RelevanceScorer protocol ------------------------------------------
 
-    def context_stems(self, text: str) -> Set[int]:
+    def context_stems(self, text: DocumentLike) -> Set[int]:
         """The TID set of a document (stemmed, stopword-free)."""
         return self._tids.tids_of(stemmed_terms(text))
 

@@ -10,11 +10,14 @@ dependencies.
 from repro.text.html import strip_html
 from repro.text.stemmer import PorterStemmer, stem
 from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenized import TokenizedDocument
 from repro.text.tokenizer import (
     Token,
     paragraphs,
+    reset_tokenize_call_count,
     sentences,
     tokenize,
+    tokenize_call_count,
     tokenize_lower,
 )
 from repro.text.vectorize import (
@@ -30,7 +33,10 @@ __all__ = [
     "STOPWORDS",
     "is_stopword",
     "Token",
+    "TokenizedDocument",
     "tokenize",
+    "tokenize_call_count",
+    "reset_tokenize_call_count",
     "tokenize_lower",
     "sentences",
     "paragraphs",

@@ -1,0 +1,105 @@
+"""A document tokenized exactly once, shared by every pipeline stage.
+
+The production hot path (paper Section VI) runs a document through the
+stemmer, three detectors, the concept-vector scorer, and the relevance
+context lookup.  Each of those consumes some view of the same token
+stream — raw tokens with offsets, lower-cased words, or stemmed
+stopword-free terms.  ``TokenizedDocument`` computes each view lazily,
+at most once, and caches it, so the whole service pays for one
+tokenization pass and one stemming pass per document instead of one per
+stage.
+
+Every string-based entry point in the pipeline remains available as a
+thin wrapper that builds a private ``TokenizedDocument``, so callers
+holding only a ``str`` see unchanged behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Union
+
+from repro.text.stemmer import stem
+from repro.text.stopwords import is_stopword
+from repro.text.tokenizer import Token, tokenize
+
+
+class TokenizedDocument:
+    """Lazily materialized, cached views of one document's tokens.
+
+    The views mirror the seed's per-stage computations exactly:
+
+    * ``tokens``        -- ``tokenize(text)``
+    * ``word_tokens``   -- word tokens only (offsets kept for spans)
+    * ``words``         -- ``tokenize_lower(text)``
+    * ``stemmed_terms`` -- ``features.relevance.stemmed_terms(text)``
+    * ``stem_set``      -- the relevance scorer's context set
+
+    Cached lists are shared with callers; treat them as read-only.
+    """
+
+    __slots__ = (
+        "text",
+        "_tokens",
+        "_word_tokens",
+        "_words",
+        "_stemmed_terms",
+        "_stem_set",
+    )
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens: Optional[List[Token]] = None
+        self._word_tokens: Optional[List[Token]] = None
+        self._words: Optional[List[str]] = None
+        self._stemmed_terms: Optional[List[str]] = None
+        self._stem_set: Optional[Set[str]] = None
+
+    @classmethod
+    def of(cls, source: Union[str, "TokenizedDocument"]) -> "TokenizedDocument":
+        """Coerce a raw string or an existing document to a document."""
+        if isinstance(source, cls):
+            return source
+        return cls(source)
+
+    @property
+    def tokens(self) -> List[Token]:
+        """All tokens with character offsets (one tokenizer pass, ever)."""
+        if self._tokens is None:
+            self._tokens = tokenize(self.text)
+        return self._tokens
+
+    @property
+    def word_tokens(self) -> List[Token]:
+        """Word tokens only, offsets preserved (what the matchers walk)."""
+        if self._word_tokens is None:
+            self._word_tokens = [t for t in self.tokens if t.is_word()]
+        return self._word_tokens
+
+    @property
+    def words(self) -> List[str]:
+        """Lower-cased word tokens (``tokenize_lower`` equivalent)."""
+        if self._words is None:
+            self._words = [t.lower for t in self.word_tokens]
+        return self._words
+
+    @property
+    def stemmed_terms(self) -> List[str]:
+        """Stemmed, stopword-free content terms (the Stemmer pass)."""
+        if self._stemmed_terms is None:
+            self._stemmed_terms = [
+                stem(word) for word in self.words if not is_stopword(word)
+            ]
+        return self._stemmed_terms
+
+    @property
+    def stem_set(self) -> Set[str]:
+        """The stemmed context set consumed by the relevance scorers."""
+        if self._stem_set is None:
+            self._stem_set = set(self.stemmed_terms)
+        return self._stem_set
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenizedDocument({self.text[:40]!r}, {len(self.text)} chars)"
+
+
+DocumentLike = Union[str, TokenizedDocument]

@@ -30,6 +30,23 @@ _SENTENCE_BOUNDARY_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'(])")
 
 _PARAGRAPH_BOUNDARY_RE = re.compile(r"\n\s*\n")
 
+# Invocation counter for the hot-path benchmarks: the single-pass
+# refactor is judged by how many times `tokenize` runs per document, so
+# the count must be observable from outside the module.
+_TOKENIZE_CALLS = 0
+
+
+def tokenize_call_count() -> int:
+    """Number of `tokenize` invocations since the last reset."""
+    return _TOKENIZE_CALLS
+
+
+def reset_tokenize_call_count() -> None:
+    """Zero the invocation counter (benchmark/test instrumentation)."""
+    global _TOKENIZE_CALLS
+    _TOKENIZE_CALLS = 0
+
+
 _ABBREVIATIONS = frozenset(
     {
         "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen",
@@ -63,6 +80,8 @@ def tokenize(text: str) -> List[Token]:
     >>> [t.text for t in tokenize("Sen. Clinton, who argued...")]
     ['Sen', '.', 'Clinton', ',', 'who', 'argued', '.', '.', '.']
     """
+    global _TOKENIZE_CALLS
+    _TOKENIZE_CALLS += 1
     return [
         Token(match.group(), match.start(), match.end())
         for match in _TOKEN_RE.finditer(text)

@@ -97,6 +97,10 @@ class TermVector:
 
     def __init__(self, weights: Mapping[str, float] = ()):
         self.weights: Dict[str, float] = dict(weights)
+        # Euclidean norm cache: vectors are treated as immutable after
+        # construction (every shaping operation returns a new vector),
+        # so the norm never needs recomputing once known.
+        self._norm: float = -1.0
 
     def __len__(self) -> int:
         return len(self.weights)
@@ -126,6 +130,8 @@ class TermVector:
 
     def punished_below(self, threshold: float, factor: float = 0.5) -> "TermVector":
         """Multiply weights under *threshold* by *factor* (paper: "punished")."""
+        if factor == 1.0 or not any(w < threshold for w in self.weights.values()):
+            return self
         return TermVector(
             {
                 term: weight * factor if weight < threshold else weight
@@ -135,6 +141,8 @@ class TermVector:
 
     def pruned_below(self, threshold: float) -> "TermVector":
         """Drop entries whose weight is below *threshold*."""
+        if not any(w < threshold for w in self.weights.values()):
+            return self
         return TermVector(
             {
                 term: weight
@@ -148,6 +156,15 @@ class TermVector:
         return sorted(self.weights.items(), key=lambda item: (-item[1], item[0]))[
             :count
         ]
+
+    def norm(self) -> float:
+        """Euclidean norm, computed once and cached."""
+        # .get: instances unpickled from pre-cache payloads lack _norm
+        norm = self.__dict__.get("_norm", -1.0)
+        if norm < 0.0:
+            norm = math.sqrt(sum(w * w for w in self.weights.values()))
+            self._norm = norm
+        return norm
 
     def cosine_similarity(self, other: "TermVector") -> float:
         """Cosine similarity between two sparse vectors."""
@@ -163,8 +180,8 @@ class TermVector:
             for term, weight in smaller.items()
             if term in larger
         )
-        norm_self = math.sqrt(sum(w * w for w in self.weights.values()))
-        norm_other = math.sqrt(sum(w * w for w in other.weights.values()))
+        norm_self = self.norm()
+        norm_other = other.norm()
         if norm_self == 0 or norm_other == 0:
             return 0.0
         return dot / (norm_self * norm_other)
