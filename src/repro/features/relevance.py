@@ -198,5 +198,13 @@ class RelevanceScorer:
             if term in context
         )
 
+    def score_many(self, phrases: Sequence[str], context: Set[str]) -> List[float]:
+        """Per-phrase scores for one shared context.
+
+        The reference implementation just loops; store-backed scorers
+        override this with a single vectorized arena pass.
+        """
+        return [self.score(phrase, context) for phrase in phrases]
+
     def score_text(self, phrase: str, text: str) -> float:
         return self.score(phrase, self.context_stems(text))

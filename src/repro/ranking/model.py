@@ -52,10 +52,47 @@ class FeatureAssembler:
         self, phrases: Sequence[str], context: Optional[Set[str]] = None
     ) -> np.ndarray:
         """Feature matrix for many phrases sharing one context."""
-        return np.vstack([self.vector(phrase, context) for phrase in phrases])
+        return self.matrix_and_relevance(phrases, context)[0]
+
+    def matrix_and_relevance(
+        self, phrases: Sequence[str], context: Optional[Set[str]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(feature matrix, raw relevance scores) with one batched lookup.
+
+        The relevance column is produced by a single ``score_many`` call
+        against the store (vectorized over the columnar arena) and is
+        returned alongside the matrix so rankers can reuse it for
+        tie-breaking without scoring twice.
+        """
+        base = np.vstack(
+            [
+                self.extractor.extract(phrase).numeric(self.exclude_groups)
+                for phrase in phrases
+            ]
+        )
+        if self.relevance_scorer is None:
+            return base, np.zeros(len(phrases))
+        if context is None:
+            raise ValueError("relevance-enabled assembler requires a context")
+        relevance = self._batched_scores(phrases, context)
+        return (
+            np.concatenate([base, np.log1p(relevance)[:, None]], axis=1),
+            relevance,
+        )
+
+    def _batched_scores(
+        self, phrases: Sequence[str], context: Set[str]
+    ) -> np.ndarray:
+        score_many = getattr(self.relevance_scorer, "score_many", None)
+        if score_many is not None:
+            return np.asarray(score_many(phrases, context), dtype=float)
+        return np.asarray(
+            [self.relevance_scorer.score(phrase, context) for phrase in phrases]
+        )
 
     def context_of(self, text: DocumentLike) -> Optional[Set[str]]:
-        """Stemmed context set, or None for interestingness-only models.
+        """Stemmed context (set or sorted TID array), or None when the
+        model is interestingness-only.
 
         Passing a :class:`TokenizedDocument` reuses its cached stemmed
         pass instead of re-tokenizing the context text.
@@ -70,9 +107,7 @@ class FeatureAssembler:
         """Raw relevance scores (zeros when no relevance scorer)."""
         if self.relevance_scorer is None or context is None:
             return np.zeros(len(phrases))
-        return np.asarray(
-            [self.relevance_scorer.score(phrase, context) for phrase in phrases]
-        )
+        return self._batched_scores(phrases, context)
 
 
 class ConceptRanker:
@@ -106,12 +141,9 @@ class ConceptRanker:
             return np.zeros(0), 0.0
         started = time.perf_counter()
         context = self._assembler.context_of(text)
-        features = self._assembler.matrix(phrases, context)
-        relevance = (
-            self._assembler.relevance_of(phrases, context)
-            if self.tie_break_with_relevance
-            else None
-        )
+        features, relevance = self._assembler.matrix_and_relevance(phrases, context)
+        if not self.tie_break_with_relevance:
+            relevance = None
         feature_seconds = time.perf_counter() - started
         scores = self._model.decision_function(features)
         if relevance is not None:

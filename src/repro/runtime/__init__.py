@@ -1,10 +1,13 @@
 """Production framework (Section VI): stores, TID tables, Golomb, service."""
 
+from repro.runtime.arena import PhraseArena, as_tid_context, sorted_membership
 from repro.runtime.compressed import CompressedRelevanceStore
 from repro.runtime.datapack import (
+    MappedPack,
     load_interestingness_store,
     load_ranker,
     load_relevance_store,
+    open_pack,
     read_pack,
     save_interestingness_store,
     save_ranker,
@@ -16,8 +19,10 @@ from repro.runtime.golomb import (
     BitReader,
     BitWriter,
     golomb_decode,
+    golomb_decode_array,
     golomb_encode,
     optimal_parameter,
+    unpack_fixed_width,
 )
 from repro.runtime.store import QuantizedInterestingnessStore
 from repro.runtime.tid import (
@@ -25,15 +30,21 @@ from repro.runtime.tid import (
     MAX_TID,
     GlobalTidTable,
     PackedRelevanceStore,
+    model_score_peak,
     pack_pair,
     unpack_pair,
 )
 
 __all__ = [
+    "PhraseArena",
+    "as_tid_context",
+    "sorted_membership",
     "CompressedRelevanceStore",
+    "MappedPack",
     "load_interestingness_store",
     "load_ranker",
     "load_relevance_store",
+    "open_pack",
     "read_pack",
     "save_interestingness_store",
     "save_ranker",
@@ -44,13 +55,16 @@ __all__ = [
     "BitReader",
     "BitWriter",
     "golomb_decode",
+    "golomb_decode_array",
     "golomb_encode",
     "optimal_parameter",
+    "unpack_fixed_width",
     "QuantizedInterestingnessStore",
     "MAX_SCORE_CODE",
     "MAX_TID",
     "GlobalTidTable",
     "PackedRelevanceStore",
+    "model_score_peak",
     "pack_pair",
     "unpack_pair",
 ]

@@ -5,23 +5,44 @@ further reduced through ... integer compression techniques, such as
 Golomb Coding".  :class:`CompressedRelevanceStore` implements that
 variant as a working runtime store, not just an accounting exercise:
 each concept's sorted TID list is delta+Golomb coded and its 10-bit
-scores are bit-packed; lookups decode on the fly.
+scores are bit-packed; lookups decode block-wise (byte/word-chunked
+Golomb, one vectorized numpy pass for the score stream) and an LRU
+cache keeps hot concepts decoded so repeated lookups skip
+decompression entirely.
 
-The trade is the classic one: ~half the memory for slower scoring.
-``PackedRelevanceStore`` remains the hot-path choice; this store suits
-memory-constrained tiers (the paper's motivating 1M+ concept scale).
+The trade is the classic one: ~half the memory for slower cold
+scoring.  ``PackedRelevanceStore`` remains the hot-path choice; this
+store suits memory-constrained tiers (the paper's motivating 1M+
+concept scale).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.features.quantize import dequantize, quantize
+import numpy as np
+
+from repro.features.quantize import quantize
 from repro.features.relevance import RelevanceModel, stemmed_terms
 from repro.text.tokenized import DocumentLike
-from repro.runtime.golomb import BitReader, BitWriter, golomb_decode, golomb_encode
-from repro.runtime.tid import SCORE_BITS, GlobalTidTable, PackedRelevanceStore
+from repro.runtime.arena import as_tid_context, sorted_membership
+from repro.runtime.golomb import (
+    BitWriter,
+    golomb_decode_array,
+    golomb_encode,
+    unpack_fixed_width,
+)
+from repro.runtime.tid import (
+    MAX_SCORE_CODE,
+    SCORE_BITS,
+    GlobalTidTable,
+    PackedRelevanceStore,
+    model_score_peak,
+)
+
+DEFAULT_DECODE_CACHE = 128
 
 
 @dataclass(frozen=True)
@@ -42,8 +63,7 @@ def _pack_scores(codes) -> bytes:
 
 
 def _unpack_scores(payload: bytes, count: int):
-    reader = BitReader(payload)
-    return [reader.read_bits(SCORE_BITS) for __ in range(count)]
+    return unpack_fixed_width(payload, count, SCORE_BITS).tolist()
 
 
 class CompressedRelevanceStore:
@@ -51,14 +71,26 @@ class CompressedRelevanceStore:
 
     Exposes the same scoring protocol as
     :class:`~repro.runtime.tid.PackedRelevanceStore` (``context_stems``
-    / ``score`` / ``score_text``), so it is a drop-in for the runtime
-    ranker.
+    / ``score`` / ``score_many`` / ``score_text``), so it is a drop-in
+    for the runtime ranker.  *cache_size* bounds the LRU of decoded
+    (TID array, dequantized score array) pairs; 0 disables caching.
     """
 
-    def __init__(self, tid_table: GlobalTidTable, score_max: float):
+    def __init__(
+        self,
+        tid_table: GlobalTidTable,
+        score_max: float,
+        cache_size: int = DEFAULT_DECODE_CACHE,
+    ):
         self._tids = tid_table
         self.score_max = float(score_max)
         self._entries: Dict[str, _CompressedEntry] = {}
+        self._cache: "OrderedDict[str, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._cache_size = int(cache_size)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def tid_table(self) -> GlobalTidTable:
@@ -70,6 +102,16 @@ class CompressedRelevanceStore:
     def __contains__(self, phrase: str) -> bool:
         return phrase.lower() in self._entries
 
+    def _store_entry(self, key: str, tids, codes) -> None:
+        payload, m = golomb_encode(tids)
+        self._entries[key] = _CompressedEntry(
+            count=len(tids),
+            golomb_m=m,
+            tid_payload=payload,
+            score_payload=_pack_scores(codes),
+        )
+        self._cache.pop(key, None)
+
     def add(self, phrase: str, relevant_terms) -> None:
         """Compress and store one concept's relevant terms.
 
@@ -80,32 +122,77 @@ class CompressedRelevanceStore:
             (self._tids.assign(term), quantize(score, self.score_max, SCORE_BITS))
             for term, score in relevant_terms
         )
-        tids = [tid for tid, __ in pairs]
-        codes = [code for __, code in pairs]
-        payload, m = golomb_encode(tids)
-        self._entries[phrase.lower()] = _CompressedEntry(
-            count=len(pairs),
-            golomb_m=m,
-            tid_payload=payload,
-            score_payload=_pack_scores(codes),
+        self._store_entry(
+            phrase.lower(),
+            [tid for tid, __ in pairs],
+            [code for __, code in pairs],
         )
+
+    # -- decode cache ------------------------------------------------------
+
+    def _decode(self, key: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """(sorted TID array, dequantized score array) for one concept."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self.cache_misses += 1
+        tids = golomb_decode_array(entry.tid_payload, entry.count, entry.golomb_m)
+        codes = unpack_fixed_width(entry.score_payload, entry.count, SCORE_BITS)
+        values = codes.astype(np.float64) / MAX_SCORE_CODE * self.score_max
+        decoded = (tids, values)
+        if self._cache_size > 0:
+            self._cache[key] = decoded
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return decoded
+
+    def cache_info(self) -> Dict[str, int]:
+        """Decode-cache counters (instrumentation for benchmarks/tests)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "capacity": self._cache_size,
+        }
 
     # -- RelevanceScorer protocol ------------------------------------------
 
-    def context_stems(self, text: DocumentLike) -> Set[int]:
-        return self._tids.tids_of(stemmed_terms(text))
+    def context_stems(self, text: DocumentLike) -> np.ndarray:
+        return self._tids.tid_context(stemmed_terms(text))
 
-    def score(self, phrase: str, context: Set[int]) -> float:
-        entry = self._entries.get(phrase.lower())
-        if entry is None or not context:
+    def score(self, phrase: str, context) -> float:
+        ctx = as_tid_context(context)
+        if ctx is None:
             return 0.0
-        tids = golomb_decode(entry.tid_payload, entry.count, entry.golomb_m)
-        codes = _unpack_scores(entry.score_payload, entry.count)
+        decoded = self._decode(phrase.lower())
+        if decoded is None:
+            return 0.0
+        tids, values = decoded
+        if not tids.size:
+            return 0.0
+        mask = sorted_membership(ctx, tids)
+        if not mask.any():
+            return 0.0
+        # Left-to-right scalar accumulation: bit-identical to the seed loop.
         total = 0.0
-        for tid, code in zip(tids, codes):
-            if tid in context:
-                total += dequantize(code, self.score_max, SCORE_BITS)
+        for value in values[mask].tolist():
+            total += value
         return total
+
+    def score_many(self, phrases: Sequence[str], context) -> np.ndarray:
+        """Per-phrase scores for one shared context (cache-amortized)."""
+        out = np.zeros(len(phrases))
+        ctx = as_tid_context(context)
+        if ctx is None:
+            return out
+        for index, phrase in enumerate(phrases):
+            out[index] = self.score(phrase, ctx)
+        return out
 
     def score_text(self, phrase: str, text: str) -> float:
         return self.score(phrase, self.context_stems(text))
@@ -121,37 +208,45 @@ class CompressedRelevanceStore:
 
     @classmethod
     def build(
-        cls, model: RelevanceModel, tid_table: Optional[GlobalTidTable] = None
+        cls,
+        model: RelevanceModel,
+        tid_table: Optional[GlobalTidTable] = None,
+        score_max: Optional[float] = None,
+        cache_size: int = DEFAULT_DECODE_CACHE,
     ) -> "CompressedRelevanceStore":
-        """Build from an offline relevance model."""
-        peak = 0.0
-        for phrase in model.phrases():
-            for __, score in model.relevant_terms(phrase):
-                peak = max(peak, score)
+        """Build from an offline relevance model.
+
+        Pass *score_max* to skip the full-model peak scan when the
+        quantizer scale is already known (e.g. from a packed store built
+        over the same model).
+        """
+        if score_max is None:
+            score_max = model_score_peak(model) or 1.0
         if tid_table is None:
             tid_table = GlobalTidTable()
-        store = cls(tid_table, score_max=peak or 1.0)
+        store = cls(tid_table, score_max=score_max, cache_size=cache_size)
         for phrase in model.phrases():
             store.add(phrase, model.relevant_terms(phrase))
         return store
 
     @classmethod
-    def from_packed(cls, packed: PackedRelevanceStore) -> "CompressedRelevanceStore":
-        """Convert a packed store (shares the TID table)."""
-        from repro.runtime.tid import unpack_pair
+    def from_packed(
+        cls,
+        packed: PackedRelevanceStore,
+        cache_size: int = DEFAULT_DECODE_CACHE,
+    ) -> "CompressedRelevanceStore":
+        """Convert a packed store (shares the TID table and score scale).
 
-        store = cls(packed.tid_table, score_max=packed.score_max)
-        for phrase in list(packed._packed):
-            pairs = sorted(
-                unpack_pair(int(value)) for value in packed.packed(phrase)
-            )
-            tids = [tid for tid, __ in pairs]
-            codes = [code for __, code in pairs]
-            payload, m = golomb_encode(tids)
-            store._entries[phrase] = _CompressedEntry(
-                count=len(pairs),
-                golomb_m=m,
-                tid_payload=payload,
-                score_payload=_pack_scores(codes),
+        Reuses ``packed.score_max`` — no model re-scan — and reads the
+        TID/score columns straight out of the packed store's arena.
+        """
+        store = cls(
+            packed.tid_table, score_max=packed.score_max, cache_size=cache_size
+        )
+        for phrase, segment in packed.arena().segments():
+            store._store_entry(
+                phrase,
+                (segment >> SCORE_BITS).tolist(),
+                (segment & MAX_SCORE_CODE).tolist(),
             )
         return store

@@ -7,18 +7,24 @@ container plus save/load functions for the quantized interestingness
 store, the packed relevance store (with its Global TID table), and a
 trained :class:`~repro.ranking.ranksvm.RankSVM`.
 
-Format: ``RPAK`` magic, u16 version, u32 section count, then per
-section a length-prefixed UTF-8 name and a u64-length payload.  All
-integers little-endian.  No pickle — packs are safe to load from
-untrusted storage.
+Container format: ``RPAK`` magic, u16 version, u32 section count, then
+per section a length-prefixed UTF-8 name and a u64-length payload.  All
+integers little-endian.  Version 2 additionally zero-pads so every
+payload begins on an 8-byte boundary, which lets ``np.frombuffer``
+view binary sections in place — :class:`MappedPack` opens a pack over
+``mmap`` and the store loaders adopt the arena/matrix columns as
+zero-copy views, so cold start is O(index), not O(corpus).  Version 1
+packs (per-phrase blob index, dense TID term list) still load.  No
+pickle — packs are safe to load from untrusted storage.
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import struct
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -27,11 +33,14 @@ from repro.ranking.ranksvm import (
     RankSVM,
     StandardScaler,
 )
+from repro.runtime.arena import PhraseArena
 from repro.runtime.store import FIELD_COUNT, QuantizedInterestingnessStore
 from repro.runtime.tid import GlobalTidTable, PackedRelevanceStore
 
 _MAGIC = b"RPAK"
-_VERSION = 1
+_VERSION = 2
+_ALIGN = 8
+_HEADER = len(_MAGIC) + 6  # magic + u16 version + u32 section count
 
 PathLike = Union[str, Path]
 
@@ -39,46 +48,149 @@ PathLike = Union[str, Path]
 # -- container ----------------------------------------------------------------
 
 
-def write_pack(path: PathLike, sections: Dict[str, bytes]) -> None:
+def write_pack(
+    path: PathLike, sections: Dict[str, bytes], version: int = _VERSION
+) -> None:
     """Write a sectioned binary pack to *path*."""
+    if version not in (1, 2):
+        raise ValueError(f"unsupported data-pack version {version}")
     with open(path, "wb") as handle:
         handle.write(_MAGIC)
-        handle.write(struct.pack("<HI", _VERSION, len(sections)))
+        handle.write(struct.pack("<HI", version, len(sections)))
+        position = _HEADER
         for name, payload in sections.items():
             encoded = name.encode("utf-8")
             handle.write(struct.pack("<H", len(encoded)))
             handle.write(encoded)
             handle.write(struct.pack("<Q", len(payload)))
+            position += 2 + len(encoded) + 8
+            if version >= 2:
+                padding = (-position) % _ALIGN
+                handle.write(b"\x00" * padding)
+                position += padding
             handle.write(payload)
+            position += len(payload)
+
+
+def _iter_sections(buffer) -> Iterator[Tuple[str, Tuple[int, int]]]:
+    """Yield (name, (payload offset, payload length)) over a pack buffer."""
+    if len(buffer) < len(_MAGIC) or bytes(buffer[: len(_MAGIC)]) != _MAGIC:
+        raise ValueError(
+            f"not a data-pack: bad magic {bytes(buffer[: len(_MAGIC)])!r}"
+        )
+    if len(buffer) < _HEADER:
+        raise ValueError("truncated data-pack")
+    version, count = struct.unpack_from("<HI", buffer, len(_MAGIC))
+    if version not in (1, 2):
+        raise ValueError(f"unsupported data-pack version {version}")
+    position = _HEADER
+    for __ in range(count):
+        if position + 2 > len(buffer):
+            raise ValueError("truncated data-pack")
+        (name_length,) = struct.unpack_from("<H", buffer, position)
+        position += 2
+        if position + name_length + 8 > len(buffer):
+            raise ValueError("truncated data-pack")
+        name = bytes(buffer[position : position + name_length]).decode("utf-8")
+        position += name_length
+        (payload_length,) = struct.unpack_from("<Q", buffer, position)
+        position += 8
+        if version >= 2:
+            position += (-position) % _ALIGN
+        if position + payload_length > len(buffer):
+            raise ValueError("truncated data-pack")
+        yield name, (position, payload_length)
+        position += payload_length
 
 
 def read_pack(path: PathLike) -> Dict[str, bytes]:
-    """Read a pack written by :func:`write_pack`."""
-    with open(path, "rb") as handle:
-        magic = handle.read(4)
-        if magic != _MAGIC:
-            raise ValueError(f"not a data-pack: bad magic {magic!r}")
-        version, count = struct.unpack("<HI", handle.read(6))
-        if version != _VERSION:
-            raise ValueError(f"unsupported data-pack version {version}")
-        sections: Dict[str, bytes] = {}
-        for __ in range(count):
-            (name_len,) = struct.unpack("<H", handle.read(2))
-            name = handle.read(name_len).decode("utf-8")
-            (payload_len,) = struct.unpack("<Q", handle.read(8))
-            payload = handle.read(payload_len)
-            if len(payload) != payload_len:
-                raise ValueError("truncated data-pack")
-            sections[name] = payload
-        return sections
+    """Read a pack written by :func:`write_pack` (eager copies)."""
+    data = Path(path).read_bytes()
+    return {
+        name: bytes(data[offset : offset + length])
+        for name, (offset, length) in _iter_sections(data)
+    }
+
+
+class MappedPack:
+    """A data-pack opened over ``mmap`` for zero-copy section access.
+
+    Section views (and numpy arrays built on them) reference the map
+    directly; the pack object must stay alive as long as they do — the
+    store loaders keep it as their backing reference.
+    """
+
+    def __init__(self, path: PathLike):
+        self._file = open(path, "rb")
+        try:
+            self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as error:
+            self._file.close()
+            raise ValueError(f"cannot map data-pack: {error}") from error
+        self._view = memoryview(self._map)
+        try:
+            self._spans = dict(_iter_sections(self._view))
+        except Exception:
+            self.close()
+            raise
+
+    def names(self) -> List[str]:
+        return list(self._spans)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._spans
+
+    def get(self, name: str):
+        """Zero-copy memoryview of one section (None if absent)."""
+        span = self._spans.get(name)
+        if span is None:
+            return None
+        offset, length = span
+        return self._view[offset : offset + length]
+
+    def __getitem__(self, name: str):
+        view = self.get(name)
+        if view is None:
+            raise KeyError(name)
+        return view
+
+    def close(self) -> None:
+        """Release the map.  Only safe once no section views remain."""
+        self._view.release()
+        self._map.close()
+        self._file.close()
+
+    def __enter__(self) -> "MappedPack":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_pack(path: PathLike) -> MappedPack:
+    """Open a data-pack for zero-copy (mmap) section access."""
+    return MappedPack(path)
 
 
 def _json_bytes(value) -> bytes:
     return json.dumps(value).encode("utf-8")
 
 
-def _json_load(payload: bytes):
-    return json.loads(payload.decode("utf-8"))
+def _json_load(payload) -> object:
+    return json.loads(bytes(payload).decode("utf-8"))
+
+
+def _sections_of(path: PathLike, use_mmap: bool):
+    """(section mapping, backing object to keep alive) for a load."""
+    if use_mmap:
+        pack = MappedPack(path)
+        return pack, pack
+    return read_pack(path), None
+
+
+def _kind_of(sections) -> bytes:
+    view = sections.get("kind")
+    return b"" if view is None else bytes(view)
 
 
 # -- interestingness store ------------------------------------------------------
@@ -87,51 +199,85 @@ def _json_load(payload: bytes):
 def save_interestingness_store(
     store: QuantizedInterestingnessStore, path: PathLike
 ) -> None:
-    """Persist a quantized interestingness store."""
-    phrases = store.phrases()
-    rows = np.vstack([store._rows[p] for p in phrases]) if phrases else np.zeros(
-        (0, FIELD_COUNT), dtype=np.uint16
-    )
+    """Persist a quantized interestingness store (columnar, v2)."""
+    phrases, matrix = store.columns()
     write_pack(
         path,
         {
             "kind": b"interestingness",
             "meta": _json_bytes(
-                {"field_max": store._field_max, "phrases": phrases}
+                {"field_max": store.field_max(), "phrases": phrases}
             ),
-            "rows": rows.astype("<u2").tobytes(),
+            "rows": np.ascontiguousarray(matrix, dtype="<u2").tobytes(),
         },
     )
 
 
-def load_interestingness_store(path: PathLike) -> QuantizedInterestingnessStore:
-    sections = read_pack(path)
-    if sections.get("kind") != b"interestingness":
+def load_interestingness_store(
+    path: PathLike, use_mmap: bool = True
+) -> QuantizedInterestingnessStore:
+    sections, backing = _sections_of(path, use_mmap)
+    if _kind_of(sections) != b"interestingness":
         raise ValueError("pack does not contain an interestingness store")
     meta = _json_load(sections["meta"])
-    store = QuantizedInterestingnessStore(meta["field_max"])
-    rows = np.frombuffer(sections["rows"], dtype="<u2").reshape(
+    matrix = np.frombuffer(sections["rows"], dtype="<u2").reshape(
         (-1, FIELD_COUNT)
     )
-    for phrase, row in zip(meta["phrases"], rows):
-        store._rows[phrase] = row.astype(np.uint16)
-    return store
+    return QuantizedInterestingnessStore.from_columns(
+        meta["field_max"], meta["phrases"], matrix, backing=backing
+    )
 
 
 # -- relevance store ------------------------------------------------------------
 
 
-def save_relevance_store(store: PackedRelevanceStore, path: PathLike) -> None:
-    """Persist a packed relevance store with its Global TID table."""
+def save_relevance_store(
+    store: PackedRelevanceStore, path: PathLike, version: int = _VERSION
+) -> None:
+    """Persist a packed relevance store with its Global TID table.
+
+    Version 2 (default) writes the columnar arena: one aligned pairs
+    column plus an offsets column, loadable as zero-copy views.
+    Version 1 writes the legacy per-phrase blob layout for
+    compatibility/benchmark comparisons.
+    """
+    if version == 1:
+        _save_relevance_store_v1(store, path)
+        return
+    arena = store.arena()
+    # dense tables serialize as a TID-ordered term list (half the JSON,
+    # fast dict rebuild); sparse tables fall back to (term, TID) pairs
+    terms = store.tid_table.dense_terms()
+    if terms is None:
+        terms = [[term, tid] for term, tid in store.tid_table.items()]
+    write_pack(
+        path,
+        {
+            "kind": b"relevance",
+            "meta": _json_bytes(
+                {
+                    "score_max": store.score_max,
+                    "terms": terms,
+                    "phrases": arena.phrases,
+                }
+            ),
+            "offsets": np.ascontiguousarray(arena.offsets, dtype="<i8").tobytes(),
+            "pairs": np.ascontiguousarray(arena.pairs, dtype="<u4").tobytes(),
+        },
+    )
+
+
+def _save_relevance_store_v1(store: PackedRelevanceStore, path: PathLike) -> None:
+    """The seed layout: JSON per-phrase index + dense TID term list."""
     tid_table = store.tid_table
-    terms = [None] * len(tid_table)
-    for term, tid in tid_table._tids.items():
+    terms: List = [None] * len(tid_table)
+    for term, tid in tid_table.items():
         terms[tid] = term
     index = []
     blobs = []
     offset = 0
-    for phrase in sorted(store._packed):
-        packed = store._packed[phrase]
+    for phrase in sorted(store.phrases()):
+        packed = store.packed(phrase)
         index.append({"phrase": phrase, "offset": offset, "count": int(packed.size)})
         blobs.append(packed.astype("<u4").tobytes())
         offset += int(packed.size)
@@ -144,24 +290,41 @@ def save_relevance_store(store: PackedRelevanceStore, path: PathLike) -> None:
             ),
             "pairs": b"".join(blobs),
         },
+        version=1,
     )
 
 
-def load_relevance_store(path: PathLike) -> PackedRelevanceStore:
-    sections = read_pack(path)
-    if sections.get("kind") != b"relevance":
+def load_relevance_store(
+    path: PathLike, use_mmap: bool = True
+) -> PackedRelevanceStore:
+    """Load a relevance store; v2 packs adopt the arena as mapped views."""
+    sections, backing = _sections_of(path, use_mmap)
+    if _kind_of(sections) != b"relevance":
         raise ValueError("pack does not contain a relevance store")
     meta = _json_load(sections["meta"])
-    tid_table = GlobalTidTable()
-    for term in meta["terms"]:
-        tid_table.assign(term)
-    store = PackedRelevanceStore(tid_table, score_max=meta["score_max"])
     pairs = np.frombuffer(sections["pairs"], dtype="<u4")
-    for entry in meta["index"]:
-        start = entry["offset"]
-        stop = start + entry["count"]
-        store._packed[entry["phrase"]] = pairs[start:stop].astype(np.uint32)
-    return store
+    if "offsets" in sections:  # v2 columnar layout
+        terms = meta["terms"]
+        if terms and isinstance(terms[0], list):  # sparse (term, TID) pairs
+            tid_table = GlobalTidTable.from_items(terms)
+        else:
+            tid_table = GlobalTidTable.from_dense_terms(terms)
+        offsets = np.frombuffer(sections["offsets"], dtype="<i8")
+        arena = PhraseArena(pairs, offsets, meta["phrases"])
+    else:  # v1 legacy per-phrase index (dense term list)
+        tid_table = GlobalTidTable()
+        for term in meta["terms"]:
+            tid_table.assign(term)
+        phrases = [entry["phrase"] for entry in meta["index"]]
+        offsets = np.zeros(len(phrases) + 1, dtype=np.int64)
+        for row, entry in enumerate(meta["index"]):
+            if entry["offset"] != int(offsets[row]):
+                raise ValueError("non-contiguous v1 relevance index")
+            offsets[row + 1] = entry["offset"] + entry["count"]
+        arena = PhraseArena(pairs, offsets, phrases)
+    return PackedRelevanceStore.from_arena(
+        tid_table, meta["score_max"], arena, backing=backing
+    )
 
 
 # -- trained ranking model --------------------------------------------------------

@@ -22,15 +22,18 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.detection.base import Detection
 from repro.detection.pipeline import AnnotatedDocument, ShortcutsPipeline
 from repro.ranking.model import ConceptRanker, FeatureAssembler
 from repro.ranking.ranksvm import RankSVM
+from repro.runtime.compressed import CompressedRelevanceStore
 from repro.runtime.store import QuantizedInterestingnessStore
 from repro.runtime.tid import PackedRelevanceStore
 from repro.text.tokenized import TokenizedDocument
+
+RelevanceStore = Union[PackedRelevanceStore, CompressedRelevanceStore]
 
 
 @dataclass
@@ -89,16 +92,18 @@ class RankerService:
     """End-to-end runtime: quantized stores + trained model.
 
     Unlike the offline evaluation path, every feature consulted here
-    comes from the precomputed hash tables — the quantized
-    interestingness store and the packed (TID, score) relevance store —
-    exactly as the production framework requires.
+    comes from the precomputed columnar stores — the quantized
+    interestingness matrix and the packed (or Golomb-compressed)
+    relevance arena — exactly as the production framework requires.
+    A document's candidates are scored with one batched ``score_many``
+    arena pass instead of per-phrase dict lookups.
     """
 
     def __init__(
         self,
         pipeline: ShortcutsPipeline,
         interestingness_store: QuantizedInterestingnessStore,
-        relevance_store: Optional[PackedRelevanceStore],
+        relevance_store: Optional[RelevanceStore],
         model: RankSVM,
         exclude_groups: Tuple[str, ...] = (),
     ):

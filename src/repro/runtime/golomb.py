@@ -4,6 +4,14 @@ The paper notes the 400 MB relevance store "can be even further reduced
 through ... integer compression techniques, such as Golomb Coding".
 Sorted TID lists are delta-encoded and each gap is Golomb-coded with
 parameter M: quotient in unary, remainder in truncated binary.
+
+The bit streams are MSB-first and byte-compatible with the original
+bit-at-a-time implementation, but both ends now work block-wise: the
+writer accumulates whole fields into an integer and flushes bytes in
+one shot, the reader refills a multi-byte window and consumes unary
+runs with integer bit tricks instead of a per-bit loop, and fixed-width
+fields (the 10-bit score stream) decode in a single vectorized numpy
+pass via :func:`unpack_fixed_width`.
 """
 
 from __future__ import annotations
@@ -11,65 +19,114 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 
 class BitWriter:
-    """Append-only bit buffer."""
+    """Append-only bit buffer (byte-chunked, MSB-first)."""
 
     def __init__(self):
         self._bytes = bytearray()
-        self._bit_count = 0
-
-    def write_bit(self, bit: int) -> None:
-        index = self._bit_count >> 3
-        if index == len(self._bytes):
-            self._bytes.append(0)
-        if bit:
-            self._bytes[index] |= 0x80 >> (self._bit_count & 7)
-        self._bit_count += 1
-
-    def write_unary(self, value: int) -> None:
-        for __ in range(value):
-            self.write_bit(1)
-        self.write_bit(0)
+        self._acc = 0  # pending bits, right-aligned
+        self._pending = 0
+        self._total = 0
 
     def write_bits(self, value: int, width: int) -> None:
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        """Append *width* bits of *value*, most significant first."""
+        if width <= 0:
+            return
+        self._acc = (self._acc << width) | (value & ((1 << width) - 1))
+        self._pending += width
+        self._total += width
+        if self._pending >= 8:
+            keep = self._pending & 7
+            emit = self._pending - keep
+            self._bytes += (self._acc >> keep).to_bytes(emit >> 3, "big")
+            self._acc &= (1 << keep) - 1
+            self._pending = keep
+
+    def write_bit(self, bit: int) -> None:
+        self.write_bits(1 if bit else 0, 1)
+
+    def write_unary(self, value: int) -> None:
+        """*value* one-bits followed by a terminating zero."""
+        full, rest = divmod(value, 32)
+        for __ in range(full):
+            self.write_bits(0xFFFFFFFF, 32)
+        self.write_bits(((1 << rest) - 1) << 1, rest + 1)
 
     def getvalue(self) -> bytes:
-        return bytes(self._bytes)
+        if not self._pending:
+            return bytes(self._bytes)
+        tail = (self._acc << (8 - self._pending)) & 0xFF
+        return bytes(self._bytes) + bytes([tail])
 
     @property
     def bit_length(self) -> int:
-        return self._bit_count
+        return self._total
 
 
 class BitReader:
-    """Sequential bit reader over bytes."""
+    """Sequential bit reader over bytes (word-chunked refills)."""
 
-    def __init__(self, data: bytes):
+    def __init__(self, data):
         self._data = data
-        self._position = 0
+        self._length = len(data)
+        self._position = 0  # next byte to pull into the window
+        self._acc = 0
+        self._avail = 0
+
+    def _refill(self, need: int) -> None:
+        while self._avail < need:
+            if self._position >= self._length:
+                raise EOFError("bit stream exhausted")
+            step = min(8, self._length - self._position)
+            chunk = self._data[self._position : self._position + step]
+            self._acc = (self._acc << (8 * step)) | int.from_bytes(chunk, "big")
+            self._avail += 8 * step
+            self._position += step
+
+    def read_bits(self, width: int) -> int:
+        if width <= 0:
+            return 0
+        self._refill(width)
+        self._avail -= width
+        value = self._acc >> self._avail
+        self._acc &= (1 << self._avail) - 1
+        return value
 
     def read_bit(self) -> int:
-        index = self._position >> 3
-        if index >= len(self._data):
-            raise EOFError("bit stream exhausted")
-        bit = (self._data[index] >> (7 - (self._position & 7))) & 1
-        self._position += 1
-        return bit
+        return self.read_bits(1)
 
     def read_unary(self) -> int:
         count = 0
-        while self.read_bit():
-            count += 1
-        return count
+        while True:
+            if self._avail == 0:
+                self._refill(1)
+            all_ones = (1 << self._avail) - 1
+            if self._acc == all_ones:
+                # the whole window is ones: consume it and keep scanning
+                count += self._avail
+                self._acc = 0
+                self._avail = 0
+                continue
+            # highest zero bit of the window is the unary terminator
+            top_zero = (self._acc ^ all_ones).bit_length() - 1
+            count += self._avail - 1 - top_zero
+            self._avail = top_zero
+            self._acc &= (1 << top_zero) - 1
+            return count
 
-    def read_bits(self, width: int) -> int:
-        value = 0
-        for __ in range(width):
-            value = (value << 1) | self.read_bit()
-        return value
+
+def unpack_fixed_width(payload, count: int, width: int) -> np.ndarray:
+    """Decode *count* MSB-first *width*-bit integers in one numpy pass."""
+    if count <= 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(
+        np.frombuffer(payload, dtype=np.uint8), count=count * width
+    )
+    weights = (1 << np.arange(width - 1, -1, -1)).astype(np.int64)
+    return bits.reshape(count, width) @ weights
 
 
 def _golomb_write(writer: BitWriter, value: int, m: int) -> None:
@@ -101,9 +158,9 @@ def _golomb_read(reader: BitReader, m: int) -> int:
 
 def optimal_parameter(sorted_values: Sequence[int]) -> int:
     """The classic M ~ 0.69 * mean(gap) rule of thumb."""
-    if not sorted_values:
+    if not len(sorted_values):
         return 1
-    span = sorted_values[-1] + 1
+    span = int(sorted_values[-1]) + 1
     mean_gap = span / len(sorted_values)
     return max(1, int(round(0.69 * mean_gap)))
 
@@ -114,7 +171,7 @@ def golomb_encode(sorted_values: Sequence[int], m: int = None) -> Tuple[bytes, i
     Returns (payload, m).  Values are delta-encoded (first value is its
     own gap from -1 minus one, so zero gaps never occur).
     """
-    values = list(sorted_values)
+    values = [int(v) for v in sorted_values]
     for left, right in zip(values, values[1:]):
         if right <= left:
             raise ValueError("values must be strictly increasing")
@@ -132,7 +189,7 @@ def golomb_encode(sorted_values: Sequence[int], m: int = None) -> Tuple[bytes, i
     return writer.getvalue(), m
 
 
-def golomb_decode(payload: bytes, count: int, m: int) -> List[int]:
+def golomb_decode(payload, count: int, m: int) -> List[int]:
     """Decode *count* values encoded by :func:`golomb_encode`."""
     reader = BitReader(payload)
     values: List[int] = []
@@ -142,3 +199,9 @@ def golomb_decode(payload: bytes, count: int, m: int) -> List[int]:
         previous = previous + gap + 1
         values.append(previous)
     return values
+
+
+def golomb_decode_array(payload, count: int, m: int) -> np.ndarray:
+    """:func:`golomb_decode` into a ``uint32`` array (store decode path)."""
+    values = golomb_decode(payload, count, m)
+    return np.fromiter(values, dtype=np.uint32, count=count)

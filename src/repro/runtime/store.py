@@ -6,15 +6,17 @@ that would fit each field to two bytes (this causes a minor decrease in
 granularity).  So the interestingness vectors for 1 million concepts
 would cost 18MB in memory."
 
-The store keeps one ``uint16`` row of 9 fields per concept and exposes
-``extract(phrase)``, making it a drop-in for the live
+The store keeps ONE contiguous ``uint16`` matrix of 9 fields per
+concept (a fixed-stride columnar arena) plus a phrase -> row table and
+exposes ``extract(phrase)``, making it a drop-in for the live
 :class:`~repro.features.interestingness.InterestingnessExtractor` in
-the runtime ranker.
+the runtime ranker.  Data-pack loads adopt the matrix as a zero-copy
+view over the mapped pack.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,19 +43,25 @@ FIELD_COUNT = len(_NUMERIC_FIELDS) + 1
 
 
 class QuantizedInterestingnessStore:
-    """Phrase -> 9 x uint16 interestingness fields."""
+    """Phrase -> row in one (concepts x 9) uint16 matrix."""
 
     def __init__(self, field_max: Sequence[float]):
         if len(field_max) != len(_NUMERIC_FIELDS):
             raise ValueError("one max per numeric field required")
         self._field_max = [max(float(m), 1e-12) for m in field_max]
-        self._rows: Dict[str, np.ndarray] = {}
+        self._index: Dict[str, int] = {}
+        self._matrix = np.zeros((0, FIELD_COUNT), dtype=np.uint16)
+        self._staged: Dict[str, np.ndarray] = {}
+        self._backing = None  # keeps a mapped data-pack alive
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._index) + sum(
+            1 for phrase in self._staged if phrase not in self._index
+        )
 
     def __contains__(self, phrase: str) -> bool:
-        return phrase.lower() in self._rows
+        key = phrase.lower()
+        return key in self._staged or key in self._index
 
     def add(self, vector: InterestingnessVector) -> None:
         """Quantize and store one concept's feature vector."""
@@ -66,20 +74,45 @@ class QuantizedInterestingnessStore:
             row[_TYPE_FIELD] = 0
         else:
             row[_TYPE_FIELD] = 1 + TAXONOMY_TYPES.index(vector.high_level_type)
-        self._rows[vector.phrase] = row
+        self._staged[vector.phrase] = row
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._staged:
+            fresh: List[np.ndarray] = []
+            for phrase, row in self._staged.items():
+                existing = self._index.get(phrase)
+                if existing is not None:
+                    if not self._matrix.flags.writeable:
+                        self._matrix = self._matrix.copy()
+                    self._matrix[existing] = row
+                else:
+                    self._index[phrase] = len(self._index)
+                    fresh.append(row)
+            if fresh:
+                self._matrix = (
+                    np.vstack([self._matrix] + fresh)
+                    if self._matrix.size
+                    else np.vstack(fresh).astype(np.uint16, copy=False)
+                )
+            self._staged = {}
+        return self._matrix
 
     def extract(self, phrase: str) -> InterestingnessVector:
         """Dequantized feature vector (the live-extractor protocol)."""
-        row = self._rows.get(phrase.lower())
+        key = phrase.lower()
+        row = self._staged.get(key)
         if row is None:
-            raise KeyError(f"unknown concept: {phrase!r}")
+            index = self._index.get(key)
+            if index is None:
+                raise KeyError(f"unknown concept: {phrase!r}")
+            row = self._matrix[index]
         values = {
             name: dequantize(int(row[index]), self._field_max[index], FIELD_BITS)
             for index, name in enumerate(_NUMERIC_FIELDS)
         }
         type_index = int(row[_TYPE_FIELD])
         return InterestingnessVector(
-            phrase=phrase.lower(),
+            phrase=key,
             freq_exact=int(round(values["freq_exact"])),
             freq_phrase_contained=int(round(values["freq_phrase_contained"])),
             unit_score=values["unit_score"],
@@ -94,11 +127,38 @@ class QuantizedInterestingnessStore:
         )
 
     def phrases(self) -> List[str]:
-        return list(self._rows)
+        self._ensure_matrix()
+        return list(self._index)
+
+    def columns(self) -> Tuple[List[str], np.ndarray]:
+        """(phrases in row order, uint16 matrix) for persistence."""
+        matrix = self._ensure_matrix()
+        return list(self._index), matrix
+
+    def field_max(self) -> List[float]:
+        """The per-field normalization maxima (persistence metadata)."""
+        return list(self._field_max)
 
     def memory_bytes(self) -> int:
         """2 bytes per field per concept (the paper's 18 MB / 1M figure)."""
-        return len(self._rows) * FIELD_COUNT * 2
+        return len(self) * FIELD_COUNT * 2
+
+    @classmethod
+    def from_columns(
+        cls,
+        field_max: Sequence[float],
+        phrases: Sequence[str],
+        matrix: np.ndarray,
+        backing=None,
+    ) -> "QuantizedInterestingnessStore":
+        """Adopt a ready row matrix (the zero-copy data-pack load path)."""
+        if matrix.shape != (len(phrases), FIELD_COUNT):
+            raise ValueError("matrix shape does not match the phrase index")
+        store = cls(field_max)
+        store._index = {phrase: row for row, phrase in enumerate(phrases)}
+        store._matrix = matrix
+        store._backing = backing
+        return store
 
     @classmethod
     def build(

@@ -8,23 +8,45 @@ can easily fit into 22 bits.  We normalize the scores of the relevant
 terms to be in the range of 0 and 1023, so that they can fit in 10
 bits.  So for each concept, we need 400 bytes to store its top 100
 (TID, score) pairs, since each pair can be stored in 32 bits."
+
+The store keeps every concept's pairs in one columnar
+:class:`~repro.runtime.arena.PhraseArena`; lookups are vectorized
+(shift out the TID column, sorted-intersect against the document's TID
+array, dequantize the matched codes) and bit-for-bit identical to the
+seed per-element loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.features.quantize import dequantize, quantize
+from repro.features.quantize import quantize
 from repro.features.relevance import RelevanceModel, stemmed_terms
 from repro.text.tokenized import DocumentLike
+from repro.runtime.arena import (
+    MAX_SCORE_CODE,
+    MAX_TID,
+    SCORE_BITS,
+    TID_BITS,
+    PhraseArena,
+    as_tid_context,
+    sorted_membership,
+)
 from repro.runtime.golomb import golomb_encode
 
-TID_BITS = 22
-SCORE_BITS = 10
-MAX_TID = (1 << TID_BITS) - 1
-MAX_SCORE_CODE = (1 << SCORE_BITS) - 1
+__all__ = [
+    "TID_BITS",
+    "SCORE_BITS",
+    "MAX_TID",
+    "MAX_SCORE_CODE",
+    "GlobalTidTable",
+    "PackedRelevanceStore",
+    "model_score_peak",
+    "pack_pair",
+    "unpack_pair",
+]
 
 
 class GlobalTidTable:
@@ -32,6 +54,7 @@ class GlobalTidTable:
 
     def __init__(self):
         self._tids: Dict[str, int] = {}
+        self._next_tid = 0
 
     def __len__(self) -> int:
         return len(self._tids)
@@ -43,17 +66,22 @@ class GlobalTidTable:
         """The TID of *term*, assigning a new one if unseen."""
         tid = self._tids.get(term)
         if tid is None:
-            tid = len(self._tids)
+            tid = self._next_tid
             if tid > MAX_TID:
                 raise OverflowError("TID space (22 bits) exhausted")
             self._tids[term] = tid
+            self._next_tid = tid + 1
         return tid
 
     def lookup(self, term: str) -> Optional[int]:
         """The TID of *term*, or None if the term is used by no concept."""
         return self._tids.get(term)
 
-    def tids_of(self, terms: Iterable[str]) -> Set[int]:
+    def items(self) -> Iterable[Tuple[str, int]]:
+        """(term, TID) pairs (data-pack serialization)."""
+        return self._tids.items()
+
+    def tids_of(self, terms: Iterable[str]) -> set:
         """TID set of a document's terms (unknown terms dropped)."""
         found = set()
         for term in terms:
@@ -61,6 +89,46 @@ class GlobalTidTable:
             if tid is not None:
                 found.add(tid)
         return found
+
+    def tid_context(self, terms: Iterable[str]) -> np.ndarray:
+        """Sorted unique TID array of *terms* — the vectorized context."""
+        found = self.tids_of(terms)
+        return np.fromiter(sorted(found), dtype=np.uint32, count=len(found))
+
+    @classmethod
+    def from_items(cls, items: Iterable[Sequence]) -> "GlobalTidTable":
+        """Rebuild from explicit (term, TID) pairs (data-pack load path).
+
+        Unlike :meth:`assign`, the pairs need not be dense: new
+        assignments continue after the largest loaded TID.
+        """
+        table = cls()
+        for term, tid in items:
+            tid = int(tid)
+            if not 0 <= tid <= MAX_TID:
+                raise ValueError(f"TID {tid} out of 22-bit range")
+            table._tids[str(term)] = tid
+        table._next_tid = max(table._tids.values(), default=-1) + 1
+        return table
+
+    @classmethod
+    def from_dense_terms(cls, terms: Sequence[str]) -> "GlobalTidTable":
+        """Rebuild from a dense TID-ordered term list (``terms[tid]``)."""
+        if len(terms) > MAX_TID + 1:
+            raise ValueError("term list exceeds the 22-bit TID space")
+        table = cls()
+        table._tids = {term: tid for tid, term in enumerate(terms)}
+        table._next_tid = len(terms)
+        return table
+
+    def dense_terms(self) -> Optional[List[str]]:
+        """TID-ordered term list if the table is dense, else None."""
+        terms: List[Optional[str]] = [None] * len(self._tids)
+        for term, tid in self._tids.items():
+            if not 0 <= tid < len(terms) or terms[tid] is not None:
+                return None
+            terms[tid] = term
+        return terms
 
 
 def pack_pair(tid: int, score_code: int) -> int:
@@ -77,57 +145,161 @@ def unpack_pair(packed: int) -> tuple:
     return packed >> SCORE_BITS, packed & MAX_SCORE_CODE
 
 
+def model_score_peak(model: RelevanceModel) -> float:
+    """The largest relevant-term score in *model* (the quantizer scale)."""
+    peak = 0.0
+    for phrase in model.phrases():
+        for __, score in model.relevant_terms(phrase):
+            peak = max(peak, score)
+    return peak
+
+
 class PackedRelevanceStore:
     """Concept -> packed (TID, score) pairs; the runtime relevance scorer.
 
     Drop-in for :class:`repro.features.relevance.RelevanceScorer`: it
-    exposes ``context_stems`` (returning a TID set) and ``score``.
+    exposes ``context_stems`` (returning a sorted TID array) and
+    ``score``/``score_many``.  Mutations stage per-phrase arrays; the
+    first lookup finalizes them into a columnar
+    :class:`~repro.runtime.arena.PhraseArena` (data-pack loads adopt a
+    ready arena directly, zero-copy).
     """
 
     def __init__(self, tid_table: GlobalTidTable, score_max: float):
         self._tids = tid_table
         self.score_max = float(score_max)
-        self._packed: Dict[str, np.ndarray] = {}
+        self._staged: Dict[str, np.ndarray] = {}
+        self._arena: Optional[PhraseArena] = None
+        self._backing = None  # keeps a mapped data-pack alive
 
     @property
     def tid_table(self) -> GlobalTidTable:
         return self._tids
 
     def __len__(self) -> int:
-        return len(self._packed)
+        count = len(self._staged)
+        if self._arena is not None:
+            count += sum(
+                1 for phrase in self._arena.phrases if phrase not in self._staged
+            )
+        return count
 
     def __contains__(self, phrase: str) -> bool:
-        return phrase.lower() in self._packed
+        key = phrase.lower()
+        if key in self._staged:
+            return True
+        return self._arena is not None and key in self._arena.rows
 
     def add(self, phrase: str, relevant_terms) -> None:
-        """Pack one concept's relevant terms."""
+        """Pack one concept's relevant terms (staged until next lookup)."""
         pairs: List[int] = []
         for term, score in relevant_terms:
             tid = self._tids.assign(term)
             code = quantize(score, self.score_max, SCORE_BITS)
             pairs.append(pack_pair(tid, code))
-        self._packed[phrase.lower()] = np.asarray(sorted(pairs), dtype=np.uint32)
+        self._staged[phrase.lower()] = np.asarray(sorted(pairs), dtype=np.uint32)
+
+    def _iter_segments(self):
+        staged = self._staged
+        if self._arena is None:
+            yield from staged.items()
+            return
+        for row, phrase in enumerate(self._arena.phrases):
+            override = staged.get(phrase)
+            yield phrase, (
+                override if override is not None else self._arena.segment(row)
+            )
+        for phrase, array in staged.items():
+            if phrase not in self._arena.rows:
+                yield phrase, array
+
+    def arena(self) -> PhraseArena:
+        """The finalized columnar arena (staged mutations merged in)."""
+        if self._arena is None or self._staged:
+            self._arena = PhraseArena.from_segments(self._iter_segments())
+            self._staged = {}
+        return self._arena
+
+    def phrases(self) -> List[str]:
+        """Phrases in arena row order."""
+        return list(self.arena().phrases)
 
     def packed(self, phrase: str) -> np.ndarray:
-        return self._packed.get(phrase.lower(), np.zeros(0, dtype=np.uint32))
+        key = phrase.lower()
+        staged = self._staged.get(key)
+        if staged is not None:
+            return staged
+        if self._arena is not None:
+            row = self._arena.rows.get(key)
+            if row is not None:
+                return self._arena.segment(row)
+        return np.zeros(0, dtype=np.uint32)
 
     # -- RelevanceScorer protocol ------------------------------------------
 
-    def context_stems(self, text: DocumentLike) -> Set[int]:
-        """The TID set of a document (stemmed, stopword-free)."""
-        return self._tids.tids_of(stemmed_terms(text))
+    def context_stems(self, text: DocumentLike) -> np.ndarray:
+        """The sorted TID array of a document (stemmed, stopword-free)."""
+        return self._tids.tid_context(stemmed_terms(text))
 
-    def score(self, phrase: str, context: Set[int]) -> float:
-        """Summed dequantized scores of the concept's TIDs in context."""
-        packed = self._packed.get(phrase.lower())
-        if packed is None or not context:
-            return 0.0
+    def _sum_matched(self, values: np.ndarray) -> float:
+        # Left-to-right scalar accumulation reproduces the seed loop's
+        # float result bit-for-bit (np.sum's pairwise order would not).
         total = 0.0
-        for value in packed:
-            tid, code = unpack_pair(int(value))
-            if tid in context:
-                total += dequantize(code, self.score_max, SCORE_BITS)
+        for value in values.tolist():
+            total += value
         return total
+
+    def score(self, phrase: str, context) -> float:
+        """Summed dequantized scores of the concept's TIDs in context."""
+        ctx = as_tid_context(context)
+        if ctx is None:
+            return 0.0
+        arena = self.arena()
+        row = arena.rows.get(phrase.lower())
+        if row is None:
+            return 0.0
+        segment = arena.segment(row)
+        if not segment.size:
+            return 0.0
+        mask = sorted_membership(ctx, segment >> SCORE_BITS)
+        if not mask.any():
+            return 0.0
+        codes = (segment[mask] & MAX_SCORE_CODE).astype(np.float64)
+        return self._sum_matched(codes / MAX_SCORE_CODE * self.score_max)
+
+    def score_many(self, phrases: Sequence[str], context) -> np.ndarray:
+        """Vectorized scores for many phrases sharing one context.
+
+        One flat gather + one sorted-intersect over every requested
+        segment; only the matched pairs are dequantized and they are
+        accumulated left-to-right per phrase, so each result is
+        identical to :meth:`score`.
+        """
+        totals = [0.0] * len(phrases)
+        ctx = as_tid_context(context)
+        if ctx is None or not len(phrases):
+            return np.asarray(totals)
+        arena = self.arena()
+        lookup = arena.rows.get
+        rows = np.asarray(
+            [lookup(phrase.lower(), -1) for phrase in phrases], dtype=np.int64
+        )
+        valid = np.flatnonzero(rows >= 0)
+        if not valid.size:
+            return np.asarray(totals)
+        values, bounds = arena.gather(rows[valid])
+        if not values.size:
+            return np.asarray(totals)
+        hits = np.flatnonzero(sorted_membership(ctx, values >> SCORE_BITS))
+        if not hits.size:
+            return np.asarray(totals)
+        matched = (values[hits] & MAX_SCORE_CODE).astype(np.float64)
+        matched = matched / MAX_SCORE_CODE * self.score_max
+        # map each hit back to the phrase whose segment contains it
+        owners = valid[bounds.searchsorted(hits, side="right")]
+        for index, value in zip(owners.tolist(), matched.tolist()):
+            totals[index] += value
+        return np.asarray(totals)
 
     def score_text(self, phrase: str, text: str) -> float:
         return self.score(phrase, self.context_stems(text))
@@ -136,7 +308,7 @@ class PackedRelevanceStore:
 
     def memory_bytes(self) -> int:
         """Bytes of packed pair storage (4 bytes per pair, as the paper)."""
-        return sum(array.size * 4 for array in self._packed.values())
+        return self.arena().pair_count * 4
 
     def compressed_bytes(self) -> int:
         """Bytes if every concept's TID list were Golomb-coded.
@@ -145,26 +317,49 @@ class PackedRelevanceStore:
         quantifies the paper's suggested optimization.
         """
         total_bits = 0
-        for array in self._packed.values():
-            tids = sorted({unpack_pair(int(v))[0] for v in array})
-            if tids:
-                payload, __ = golomb_encode(tids)
+        for __, segment in self.arena().segments():
+            tids = np.unique(segment >> SCORE_BITS)
+            if tids.size:
+                payload, __m = golomb_encode(tids.tolist())
                 total_bits += len(payload) * 8
-            total_bits += array.size * SCORE_BITS
+            total_bits += segment.size * SCORE_BITS
         return (total_bits + 7) // 8
 
     @classmethod
     def build(
-        cls, model: RelevanceModel, tid_table: Optional[GlobalTidTable] = None
+        cls,
+        model: RelevanceModel,
+        tid_table: Optional[GlobalTidTable] = None,
+        score_max: Optional[float] = None,
     ) -> "PackedRelevanceStore":
-        """Build the store from an offline relevance model."""
-        peak = 0.0
-        for phrase in model.phrases():
-            for __, score in model.relevant_terms(phrase):
-                peak = max(peak, score)
+        """Build the store from an offline relevance model.
+
+        Pass *score_max* to skip the model scan when the quantizer scale
+        is already known (e.g. rebuilding against a shared scale).
+        """
+        if score_max is None:
+            score_max = model_score_peak(model) or 1.0
         if tid_table is None:
             tid_table = GlobalTidTable()
-        store = cls(tid_table, score_max=peak or 1.0)
+        store = cls(tid_table, score_max=score_max)
         for phrase in model.phrases():
             store.add(phrase, model.relevant_terms(phrase))
+        return store
+
+    @classmethod
+    def from_arena(
+        cls,
+        tid_table: GlobalTidTable,
+        score_max: float,
+        arena: PhraseArena,
+        backing=None,
+    ) -> "PackedRelevanceStore":
+        """Adopt a ready-made arena (the zero-copy data-pack load path).
+
+        *backing* is held for the store's lifetime so a mapped pack's
+        buffer outlives the arrays viewing it.
+        """
+        store = cls(tid_table, score_max=score_max)
+        store._arena = arena
+        store._backing = backing
         return store

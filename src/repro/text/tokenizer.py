@@ -12,7 +12,9 @@ step) and so that documents can be partitioned into character windows
 
 from __future__ import annotations
 
+import itertools
 import re
+import threading
 from dataclasses import dataclass
 from typing import Iterator, List
 
@@ -32,19 +34,36 @@ _PARAGRAPH_BOUNDARY_RE = re.compile(r"\n\s*\n")
 
 # Invocation counter for the hot-path benchmarks: the single-pass
 # refactor is judged by how many times `tokenize` runs per document, so
-# the count must be observable from outside the module.
-_TOKENIZE_CALLS = 0
+# the count must be observable from outside the module.  The counter
+# itself is an `itertools.count` — a single atomic `next()` on the hot
+# path, so `tokenize` never takes a lock and concurrent `process_batch`
+# workers cannot lose increments.  Readers subtract the draws the
+# accessor functions themselves consume (each read/reset burns one tick)
+# plus the baseline recorded at the last reset; that bookkeeping is
+# mutated under `_COUNTER_LOCK` since reads are not performance-critical.
+_counter = itertools.count()
+_COUNTER_LOCK = threading.Lock()
+_counter_overhead = 0  # ticks consumed by read/reset calls, not tokenize
+_counter_base = 0  # tokenize ticks already counted at the last reset
 
 
 def tokenize_call_count() -> int:
     """Number of `tokenize` invocations since the last reset."""
-    return _TOKENIZE_CALLS
+    global _counter_overhead
+    with _COUNTER_LOCK:
+        drawn = next(_counter)
+        calls = drawn - _counter_overhead - _counter_base
+        _counter_overhead += 1
+        return calls
 
 
 def reset_tokenize_call_count() -> None:
     """Zero the invocation counter (benchmark/test instrumentation)."""
-    global _TOKENIZE_CALLS
-    _TOKENIZE_CALLS = 0
+    global _counter_overhead, _counter_base
+    with _COUNTER_LOCK:
+        drawn = next(_counter)
+        _counter_base = drawn - _counter_overhead
+        _counter_overhead += 1
 
 
 _ABBREVIATIONS = frozenset(
@@ -80,8 +99,7 @@ def tokenize(text: str) -> List[Token]:
     >>> [t.text for t in tokenize("Sen. Clinton, who argued...")]
     ['Sen', '.', 'Clinton', ',', 'who', 'argued', '.', '.', '.']
     """
-    global _TOKENIZE_CALLS
-    _TOKENIZE_CALLS += 1
+    next(_counter)
     return [
         Token(match.group(), match.start(), match.end())
         for match in _TOKEN_RE.finditer(text)

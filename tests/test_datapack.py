@@ -6,12 +6,15 @@ import pytest
 from repro.features import RelevanceModel
 from repro.ranking import KERNEL_RBF, RankSVM
 from repro.runtime import (
+    MAX_SCORE_CODE,
+    MAX_TID,
     GlobalTidTable,
     PackedRelevanceStore,
     QuantizedInterestingnessStore,
     load_interestingness_store,
     load_ranker,
     load_relevance_store,
+    open_pack,
     read_pack,
     save_interestingness_store,
     save_ranker,
@@ -102,6 +105,109 @@ class TestRelevanceStorePersistence:
         write_pack(path, {"kind": b"interestingness"})
         with pytest.raises(ValueError):
             load_relevance_store(path)
+
+    def test_empty_store_round_trip(self, tmp_path):
+        store = PackedRelevanceStore(GlobalTidTable(), score_max=1.0)
+        path = tmp_path / "empty.rpak"
+        save_relevance_store(store, path)
+        loaded = load_relevance_store(path)
+        assert len(loaded) == 0
+        assert loaded.memory_bytes() == 0
+        assert loaded.score("anything", {1, 2}) == 0.0
+        assert loaded.score_many(["a", "b"], {1}).tolist() == [0.0, 0.0]
+
+    def test_max_tid_boundary_round_trip(self, tmp_path):
+        # Plant a term at the very top of the 22-bit TID space; packing,
+        # persistence, and the sparse v2 term list must all survive it.
+        table = GlobalTidTable.from_items([("edge", MAX_TID - 1), ("top", MAX_TID)])
+        store = PackedRelevanceStore(table, score_max=10.0)
+        store.add("boundary concept", (("top", 10.0), ("edge", 0.0)))
+        path = tmp_path / "edge.rpak"
+        save_relevance_store(store, path)
+        loaded = load_relevance_store(path)
+        context = {MAX_TID - 1, MAX_TID}
+        assert loaded.score("boundary concept", context) == store.score(
+            "boundary concept", context
+        )
+        assert len(loaded.tid_table) == 2
+
+    def test_quantize_extremes_round_trip(self, tmp_path):
+        # score 0 -> code 0, score == score_max -> code 1023: both ends of
+        # the 10-bit range must dequantize back to the same values.
+        store = PackedRelevanceStore(GlobalTidTable(), score_max=64.0)
+        store.add("extremes", (("zero", 0.0), ("full", 64.0)))
+        packed = store.packed("extremes")
+        codes = sorted((int(p) & MAX_SCORE_CODE) for p in packed)
+        assert codes == [0, MAX_SCORE_CODE]
+        path = tmp_path / "extremes.rpak"
+        save_relevance_store(store, path)
+        loaded = load_relevance_store(path)
+        both = {0, 1}
+        assert loaded.score("extremes", both) == store.score("extremes", both)
+        assert loaded.score("extremes", both) == 64.0
+
+    def test_v1_pack_still_loads(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "legacy.rpak"
+        save_relevance_store(store, path, version=1)
+        loaded = load_relevance_store(path)
+        text = "climat carbon trade today"
+        for phrase in ("global warming", "stock market"):
+            assert loaded.score_text(phrase, text) == store.score_text(phrase, text)
+        assert loaded.memory_bytes() == store.memory_bytes()
+
+    def test_mmap_load_is_zero_copy(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "rel.rpak"
+        save_relevance_store(store, path)
+        loaded = load_relevance_store(path, use_mmap=True)
+        arena = loaded.arena()
+        # views over the read-only map: no write access, no owned data
+        assert not arena.pairs.flags.writeable
+        assert not arena.pairs.flags.owndata
+        eager = load_relevance_store(path, use_mmap=False)
+        assert eager.memory_bytes() == loaded.memory_bytes()
+
+
+class TestMappedPackErrors:
+    def test_corrupt_magic_raises_clean_error(self, tmp_path):
+        path = tmp_path / "bad.rpak"
+        path.write_bytes(b"JUNK" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            open_pack(path)
+        with pytest.raises(ValueError, match="magic"):
+            load_relevance_store(path)
+
+    def test_truncated_pack_raises_clean_error(self, tmp_path):
+        good = tmp_path / "good.rpak"
+        store = PackedRelevanceStore(GlobalTidTable(), score_max=1.0)
+        store.add("x", (("a", 1.0),))
+        save_relevance_store(store, good)
+        bad = tmp_path / "cut.rpak"
+        bad.write_bytes(good.read_bytes()[:-5])
+        with pytest.raises(ValueError, match="truncated"):
+            open_pack(bad)
+        with pytest.raises(ValueError, match="truncated"):
+            load_relevance_store(bad)
+
+    def test_empty_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "empty.rpak"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            open_pack(path)
+
+    def test_context_manager_and_sections(self, tmp_path):
+        path = tmp_path / "ok.rpak"
+        write_pack(path, {"kind": b"test", "data": b"\x01\x02"})
+        with open_pack(path) as pack:
+            assert "data" in pack
+            assert sorted(pack.names()) == ["data", "kind"]
+            assert bytes(pack["data"]) == b"\x01\x02"
+            assert pack.get("missing") is None
+        with open_pack(path) as pack:
+            assert bytes(pack["kind"]) == b"test"
+        with pytest.raises(KeyError):
+            open_pack(path)["missing"]
 
 
 class TestRankerPersistence:

@@ -247,6 +247,29 @@ class TestSinglePass:
         seed_process(service, text)
         assert tokenize_call_count() == 5
 
+    def test_tokenize_counter_thread_safe(self):
+        import threading
+
+        from repro.text import tokenize
+
+        reset_tokenize_call_count()
+        per_thread = 400
+
+        def worker():
+            for __ in range(per_thread):
+                tokenize("fidel castro visits havana")
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tokenize_call_count() == 8 * per_thread
+        # reading the counter must not perturb it
+        assert tokenize_call_count() == 8 * per_thread
+        reset_tokenize_call_count()
+        assert tokenize_call_count() == 0
+
     def test_tokenized_document_views_match_string_helpers(self, env_stories):
         from repro.features import stemmed_terms
         from repro.text import tokenize_lower

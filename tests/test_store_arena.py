@@ -1,0 +1,350 @@
+"""Tests for the columnar arena, vectorized scoring, and decode cache.
+
+The golden requirement: the vectorized arena lookups must reproduce the
+seed per-element loop *byte-identically* — same dequantize arithmetic,
+same left-to-right accumulation order — so every comparison here is
+exact equality, never approx.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features import RelevanceModel
+from repro.features.quantize import dequantize
+from repro.runtime import (
+    BitReader,
+    BitWriter,
+    CompressedRelevanceStore,
+    GlobalTidTable,
+    PackedRelevanceStore,
+    PhraseArena,
+    as_tid_context,
+    golomb_decode,
+    golomb_decode_array,
+    golomb_encode,
+    sorted_membership,
+    unpack_fixed_width,
+    unpack_pair,
+)
+from repro.runtime.tid import MAX_SCORE_CODE, MAX_TID, SCORE_BITS, pack_pair
+
+
+def synthetic_model(concepts=40, vocabulary=300, terms_per=25, seed=7):
+    """A randomized relevance model with shared terms across concepts."""
+    rng = np.random.default_rng(seed)
+    entries = {}
+    for index in range(concepts):
+        count = int(rng.integers(1, terms_per + 1))
+        term_ids = rng.choice(vocabulary, size=count, replace=False)
+        entries[f"concept {index}"] = tuple(
+            (f"term{tid}", float(rng.uniform(0.01, 80.0))) for tid in term_ids
+        )
+    entries["empty concept"] = ()
+    return RelevanceModel(entries)
+
+
+def seed_score(store, phrase, context_tids):
+    """The seed implementation: per-element unpack + scalar accumulation."""
+    total = 0.0
+    for packed in store.packed(phrase).tolist():
+        tid, code = unpack_pair(packed)
+        if tid in context_tids:
+            total += dequantize(code, store.score_max, SCORE_BITS)
+    return total
+
+
+def random_contexts(store, rng, count=12):
+    """TID subsets of varying density, incl. empty and full."""
+    universe = sorted(tid for __, tid in store.tid_table.items())
+    contexts = [set(), set(universe)]
+    for __ in range(count):
+        size = int(rng.integers(1, max(2, len(universe))))
+        contexts.append(set(rng.choice(universe, size=size, replace=False).tolist()))
+    return contexts
+
+
+class TestPhraseArena:
+    def test_from_segments_layout(self):
+        arena = PhraseArena.from_segments(
+            [
+                ("a", np.asarray([5, 9], dtype=np.uint32)),
+                ("b", np.zeros(0, dtype=np.uint32)),
+                ("c", np.asarray([1], dtype=np.uint32)),
+            ]
+        )
+        assert arena.pairs.tolist() == [5, 9, 1]
+        assert arena.offsets.tolist() == [0, 2, 2, 3]
+        assert arena.phrases == ["a", "b", "c"]
+        assert arena.rows == {"a": 0, "b": 1, "c": 2}
+        assert arena.segment(0).tolist() == [5, 9]
+        assert arena.segment(1).size == 0
+        assert arena.pair_count == 3
+
+    def test_empty_arena(self):
+        arena = PhraseArena.from_segments([])
+        assert arena.pair_count == 0
+        assert arena.phrases == []
+        assert arena.offsets.tolist() == [0]
+
+    def test_gather_flattens_requested_rows(self):
+        arena = PhraseArena.from_segments(
+            [
+                ("a", np.asarray([10, 11], dtype=np.uint32)),
+                ("b", np.asarray([20], dtype=np.uint32)),
+                ("c", np.asarray([30, 31, 32], dtype=np.uint32)),
+            ]
+        )
+        values, bounds = arena.gather(np.asarray([2, 0], dtype=np.int64))
+        assert values.tolist() == [30, 31, 32, 10, 11]
+        assert bounds.tolist() == [3, 5]
+
+    def test_gather_with_empty_rows(self):
+        arena = PhraseArena.from_segments(
+            [
+                ("a", np.zeros(0, dtype=np.uint32)),
+                ("b", np.asarray([7], dtype=np.uint32)),
+            ]
+        )
+        values, bounds = arena.gather(np.asarray([0, 1, 0], dtype=np.int64))
+        assert values.tolist() == [7]
+        assert bounds.tolist() == [0, 1, 1]
+
+
+class TestContextNormalization:
+    def test_none_and_empty(self):
+        assert as_tid_context(None) is None
+        assert as_tid_context(set()) is None
+        assert as_tid_context(np.zeros(0, dtype=np.uint32)) is None
+
+    def test_set_becomes_sorted_array(self):
+        ctx = as_tid_context({9, 2, 5})
+        assert ctx.tolist() == [2, 5, 9]
+        assert ctx.dtype == np.uint32
+
+    def test_array_passes_through(self):
+        source = np.asarray([1, 4, 6], dtype=np.uint32)
+        assert as_tid_context(source) is source
+
+    def test_sorted_membership(self):
+        ctx = np.asarray([2, 5, 9], dtype=np.uint32)
+        tids = np.asarray([1, 2, 5, 8, 9, 11], dtype=np.uint32)
+        assert sorted_membership(ctx, tids).tolist() == [
+            False, True, True, False, True, False,
+        ]
+
+    def test_membership_above_context_max(self):
+        # positions past the end of the context must not wrap into hits
+        ctx = np.asarray([3], dtype=np.uint32)
+        tids = np.asarray([3, 4, 1000], dtype=np.uint32)
+        assert sorted_membership(ctx, tids).tolist() == [True, False, False]
+
+
+class TestPackPairBoundaries:
+    def test_max_tid_round_trips(self):
+        packed = pack_pair(MAX_TID, MAX_SCORE_CODE)
+        assert packed == 0xFFFFFFFF
+        assert unpack_pair(packed) == (MAX_TID, MAX_SCORE_CODE)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_pair(MAX_TID + 1, 0)
+        with pytest.raises(ValueError):
+            pack_pair(0, MAX_SCORE_CODE + 1)
+
+
+class TestGoldenScoring:
+    """Vectorized paths must equal the seed loop exactly (==, no approx)."""
+
+    @pytest.fixture(scope="class")
+    def packed_store(self):
+        return PackedRelevanceStore.build(synthetic_model())
+
+    def test_score_matches_seed_loop_exactly(self, packed_store):
+        rng = np.random.default_rng(11)
+        phrases = packed_store.phrases() + ["unknown phrase"]
+        for context in random_contexts(packed_store, rng):
+            for phrase in phrases:
+                expected = seed_score(packed_store, phrase, context)
+                assert packed_store.score(phrase, context) == expected
+
+    def test_score_many_matches_score_exactly(self, packed_store):
+        rng = np.random.default_rng(13)
+        phrases = packed_store.phrases() + ["unknown phrase", "empty concept"]
+        for context in random_contexts(packed_store, rng):
+            batch = packed_store.score_many(phrases, context)
+            for phrase, value in zip(phrases, batch.tolist()):
+                assert value == packed_store.score(phrase, context)
+
+    def test_array_and_set_contexts_agree(self, packed_store):
+        context = {tid for __, tid in list(packed_store.tid_table.items())[::2]}
+        ctx_array = as_tid_context(context)
+        for phrase in packed_store.phrases():
+            assert packed_store.score(phrase, context) == packed_store.score(
+                phrase, ctx_array
+            )
+
+    def test_compressed_matches_seed_loop_exactly(self, packed_store):
+        compressed = CompressedRelevanceStore.from_packed(packed_store)
+        rng = np.random.default_rng(17)
+        for context in random_contexts(packed_store, rng, count=6):
+            for phrase in packed_store.phrases():
+                assert compressed.score(phrase, context) == seed_score(
+                    packed_store, phrase, context
+                )
+
+    def test_mutation_after_finalize(self, packed_store):
+        store = PackedRelevanceStore.build(synthetic_model(concepts=5))
+        store.score("concept 0", {0, 1})  # finalize the arena
+        store.add("late arrival", (("term0", 3.0), ("brandnew", 1.0)))
+        context = {store.tid_table.lookup("term0")}
+        assert "late arrival" in store
+        assert store.score("late arrival", context) == seed_score(
+            store, "late arrival", context
+        )
+
+
+class TestGolombBlockwise:
+    def test_round_trip_random_sequences(self):
+        rng = np.random.default_rng(3)
+        for __ in range(25):
+            count = int(rng.integers(1, 120))
+            values = np.unique(rng.integers(0, 50_000, size=count)).tolist()
+            payload, m = golomb_encode(values)
+            assert golomb_decode(payload, len(values), m) == values
+            assert golomb_decode_array(payload, len(values), m).tolist() == values
+
+    def test_writer_matches_bit_at_a_time_reference(self):
+        rng = np.random.default_rng(5)
+        fields = [
+            (int(rng.integers(0, 1 << width)), width)
+            for width in rng.integers(1, 30, size=60).tolist()
+        ]
+        writer = BitWriter()
+        reference_bits = []
+        for value, width in fields:
+            writer.write_bits(value, width)
+            reference_bits.extend((value >> i) & 1 for i in range(width - 1, -1, -1))
+        while len(reference_bits) % 8:
+            reference_bits.append(0)
+        reference = bytes(
+            int("".join(map(str, reference_bits[i : i + 8])), 2)
+            for i in range(0, len(reference_bits), 8)
+        )
+        assert writer.getvalue() == reference
+
+    def test_reader_round_trips_writer(self):
+        rng = np.random.default_rng(9)
+        fields = [
+            (int(rng.integers(0, 1 << width)), width)
+            for width in rng.integers(1, 40, size=80).tolist()
+        ]
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read_bits(width) == value
+
+    def test_unary_long_runs(self):
+        writer = BitWriter()
+        lengths = [0, 1, 7, 31, 32, 33, 100, 257]
+        for length in lengths:
+            writer.write_unary(length)
+        reader = BitReader(writer.getvalue())
+        for length in lengths:
+            assert reader.read_unary() == length
+
+    def test_exhausted_reader_raises(self):
+        reader = BitReader(b"\x00")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_unpack_fixed_width_matches_reader(self):
+        rng = np.random.default_rng(21)
+        codes = rng.integers(0, 1 << SCORE_BITS, size=57).tolist()
+        writer = BitWriter()
+        for code in codes:
+            writer.write_bits(code, SCORE_BITS)
+        payload = writer.getvalue()
+        assert unpack_fixed_width(payload, len(codes), SCORE_BITS).tolist() == codes
+        reader = BitReader(payload)
+        assert [reader.read_bits(SCORE_BITS) for __ in codes] == codes
+
+    def test_unpack_fixed_width_empty(self):
+        assert unpack_fixed_width(b"", 0, SCORE_BITS).size == 0
+
+
+class TestDecodeCache:
+    def make_store(self, cache_size=2):
+        packed = PackedRelevanceStore.build(synthetic_model(concepts=6))
+        return (
+            CompressedRelevanceStore.from_packed(packed, cache_size=cache_size),
+            packed,
+        )
+
+    def test_hits_and_misses_counted(self):
+        store, packed = self.make_store(cache_size=8)
+        context = {tid for __, tid in packed.tid_table.items()}
+        store.score("concept 0", context)
+        store.score("concept 0", context)
+        store.score("concept 1", context)
+        info = store.cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+        assert info["size"] == 2
+
+    def test_lru_eviction_at_capacity(self):
+        store, packed = self.make_store(cache_size=2)
+        context = {tid for __, tid in packed.tid_table.items()}
+        store.score("concept 0", context)
+        store.score("concept 1", context)
+        store.score("concept 2", context)  # evicts concept 0
+        assert store.cache_info()["size"] == 2
+        store.score("concept 0", context)  # miss again
+        assert store.cache_info()["misses"] == 4
+
+    def test_cache_disabled(self):
+        store, packed = self.make_store(cache_size=0)
+        context = {tid for __, tid in packed.tid_table.items()}
+        first = store.score("concept 0", context)
+        assert store.score("concept 0", context) == first
+        info = store.cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 2
+
+    def test_add_invalidates_cached_entry(self):
+        store, packed = self.make_store(cache_size=4)
+        context = {tid for __, tid in packed.tid_table.items()}
+        store.score("concept 0", context)
+        store.add("concept 0", (("term0", 5.0),))
+        tid = store.tid_table.lookup("term0")
+        expected = dequantize(
+            round(5.0 / store.score_max * MAX_SCORE_CODE), store.score_max, SCORE_BITS
+        )
+        assert store.score("concept 0", {tid}) == expected
+
+
+class TestBuildVersusFromPacked:
+    """Satellite: the two compressed-store construction paths agree."""
+
+    def test_scores_identical(self):
+        model = synthetic_model(concepts=20, seed=23)
+        packed = PackedRelevanceStore.build(model)
+        direct = CompressedRelevanceStore.build(model)
+        converted = CompressedRelevanceStore.from_packed(packed)
+        assert converted.score_max == packed.score_max
+        assert direct.score_max == packed.score_max
+        assert len(direct) == len(converted)
+        rng = np.random.default_rng(29)
+        for context in random_contexts(packed, rng, count=8):
+            for phrase in packed.phrases():
+                ctx = set(context)
+                assert direct.score(phrase, ctx) == converted.score(phrase, ctx)
+
+    def test_build_skips_peak_scan_when_given(self):
+        model = synthetic_model(concepts=8, seed=31)
+        packed = PackedRelevanceStore.build(model)
+        reused = CompressedRelevanceStore.build(model, score_max=packed.score_max)
+        assert reused.score_max == packed.score_max
