@@ -1,0 +1,317 @@
+"""Offline-build benchmark: parallel vectorized pipeline vs seed path.
+
+The seed offline pipeline tokenizes the corpus twice (index + stemmed
+df), builds dict-of-dicts postings, and mines each concept's relevant
+keywords by re-tokenizing snippet strings and walking python Counters.
+The offline builder's fast mode tokenizes once, freezes the index into
+CSR numpy columns, and mines keywords/units on interned id arrays, with
+an optional process-pool fan-out for per-concept mining.
+
+This benchmark generates a synthetic corpus + query log (alphabetic
+vocabulary — the tokenizer drops numeric tokens — with concepts
+injected into documents so phrase search and mining have real signal),
+then runs :class:`~repro.offline.builder.OfflineBuilder` in seed mode
+and fast mode (twice, at different worker counts) and records:
+
+* per-stage seconds, docs/sec and concepts/sec for both modes,
+* the end-to-end speedup (the PR bar: >= 3x),
+* equivalence flags — pack bytes identical across seed/fast and across
+  worker counts, frozen CSR answers == dict index answers, parallel
+  mining == serial mining, vectorized unit lexicon == seed lexicon,
+  vectorized keyword miner == seed miner on all three resources.
+
+Run standalone (``python benchmarks/bench_offline.py [--smoke]``) or
+under pytest (``PYTHONPATH=src pytest benchmarks/bench_offline.py``).
+"""
+
+import json
+import os
+import random
+import string
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
+    if path not in sys.path:  # allow `python benchmarks/bench_offline.py`
+        sys.path.insert(0, path)
+
+from _report import record_section
+from repro.features.relevance import (
+    RESOURCES,
+    RelevantKeywordMiner,
+    build_stemmed_df,
+)
+from repro.offline.builder import BuildConfig, OfflineBuilder
+from repro.offline.corpus import TokenizedCorpus
+from repro.offline.mining import VectorizedKeywordMiner
+from repro.querylog.log import QueryLog
+from repro.querylog.units import UnitMiner, VectorizedUnitMiner, lexicon_signature
+from repro.search.engine import SearchEngine
+from repro.search.prisma import PrismaTool
+from repro.search.snippets import SnippetService
+from repro.search.suggestions import SuggestionService
+
+SNAPSHOT_PATH = os.path.join(_HERE, "BENCH_offline.json")
+
+DOC_COUNT = int(os.environ.get("REPRO_BENCH_OFFLINE_DOCS", "1600"))
+CONCEPT_COUNT = int(os.environ.get("REPRO_BENCH_OFFLINE_CONCEPTS", "600"))
+SMOKE_DOC_COUNT = 600
+SMOKE_CONCEPT_COUNT = 280
+VOCABULARY_SIZE = 900
+DOC_TOKENS = (60, 100)
+MINER_SAMPLE = 24  # concepts cross-checked per miner/resource
+BUILD_REPEATS = 2  # best-of-N wall clock per mode (absorbs scheduler noise)
+MIN_SPEEDUP = 3.0  # acceptance: fast build >= 3x the seed build
+# The mode-independent stages (units, interestingness, quantize, pack)
+# are a fixed floor on the fast build's total, so the end-to-end ratio
+# shrinks with corpus size.  The smoke run exists to exercise the
+# equivalence flags quickly in CI; it asserts a proportionally lower bar.
+SMOKE_MIN_SPEEDUP = 2.25
+
+
+def synthetic_vocabulary(rng, size=VOCABULARY_SIZE):
+    """Distinct pure-alphabetic words (numbers don't survive tokenize)."""
+    words = set()
+    while len(words) < size:
+        length = rng.randint(3, 9)
+        words.add("".join(rng.choice(string.ascii_lowercase) for __ in range(length)))
+    return sorted(words)
+
+
+def synthetic_world(doc_count, concept_count, seed=17):
+    """(documents, query log, concept phrases) with injected structure."""
+    rng = random.Random(seed)
+    vocabulary = synthetic_vocabulary(rng)
+    concepts = []
+    seen = set()
+    while len(concepts) < concept_count:
+        size = rng.choice((1, 2, 2, 2, 3))
+        phrase = " ".join(rng.choice(vocabulary) for __ in range(size))
+        if phrase not in seen:
+            seen.add(phrase)
+            concepts.append(phrase)
+    documents = []
+    low, high = DOC_TOKENS
+    for doc_id in range(doc_count):
+        tokens = [
+            vocabulary[min(int(rng.paretovariate(1.1)) - 1, len(vocabulary) - 1)]
+            for __ in range(rng.randint(low, high))
+        ]
+        # splice concept phrases in so phrase queries return real hit lists
+        for phrase in rng.sample(concepts, rng.randint(2, 6)):
+            position = rng.randint(0, len(tokens))
+            tokens[position:position] = phrase.split()
+        documents.append((doc_id + 1, " ".join(tokens)))
+    queries = {}
+    for phrase in concepts:
+        queries[phrase] = rng.randint(2, 60)
+        queries[f"{phrase} {rng.choice(vocabulary)}"] = rng.randint(1, 12)
+        if rng.random() < 0.5:
+            queries[f"{rng.choice(vocabulary)} {phrase}"] = rng.randint(1, 8)
+    for __ in range(concept_count):
+        left, right = rng.choice(vocabulary), rng.choice(vocabulary)
+        queries.setdefault(f"{left} {right}", rng.randint(1, 20))
+    return documents, QueryLog.from_strings(queries), concepts
+
+
+def _stage_map(report):
+    return {stage.name: round(stage.seconds, 6) for stage in report.stages}
+
+
+def _check_frozen_vs_dict(documents, concepts, rng):
+    """Frozen CSR engine answers == staged dict engine answers."""
+    staged = SearchEngine()
+    frozen = SearchEngine()
+    for doc_id, text in documents:
+        staged.add_document(doc_id, text)
+        frozen.add_document(doc_id, text)
+    frozen.freeze()
+    probes = rng.sample(concepts, min(40, len(concepts)))
+    probes += [f"{a.split()[0]} {b.split()[0]}" for a, b in zip(probes, probes[1:])]
+    for query in probes:
+        if staged.search(query, limit=30) != frozen.search(query, limit=30):
+            return False
+        if staged.phrase_search(query, limit=30) != frozen.phrase_search(query, limit=30):
+            return False
+        if staged.result_count(query) != frozen.result_count(query):
+            return False
+        if staged.phrase_result_count(query) != frozen.phrase_result_count(query):
+            return False
+    return True
+
+
+def run_offline_benchmark(doc_count=DOC_COUNT, concept_count=CONCEPT_COUNT):
+    documents, query_log, concepts = synthetic_world(doc_count, concept_count)
+    rng = random.Random(23)
+
+    def best_build(tmp, tag, config):
+        """Best-of-N wall clock; pack bytes are identical across runs."""
+        reports = [
+            OfflineBuilder(config).build(
+                documents, query_log, concepts, os.path.join(tmp, f"{tag}{attempt}")
+            )
+            for attempt in range(BUILD_REPEATS)
+        ]
+        return min(reports, key=lambda report: report.total_seconds)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_report = best_build(tmp, "seed", BuildConfig(fast=False))
+        fast_report = best_build(tmp, "fast", BuildConfig(fast=True, workers=1))
+        fanout_report = OfflineBuilder(BuildConfig(fast=True, workers=2)).build(
+            documents, query_log, concepts, os.path.join(tmp, "fanout")
+        )
+
+    # -- layer-by-layer equivalence flags -------------------------------
+    pack_bytes_identical = seed_report.pack_sha256 == fast_report.pack_sha256
+    parallel_pack_identical = fast_report.pack_sha256 == fanout_report.pack_sha256
+
+    frozen_index_matches_dict = _check_frozen_vs_dict(documents, concepts, rng)
+
+    seed_lexicon = UnitMiner().mine(query_log)
+    fast_lexicon = VectorizedUnitMiner().mine(query_log)
+    vectorized_units_match_seed = (
+        lexicon_signature(seed_lexicon) == lexicon_signature(fast_lexicon)
+        and seed_lexicon.max_length == fast_lexicon.max_length
+    )
+
+    # seed-style miner vs vectorized miner, all three resources
+    seed_engine = SearchEngine()
+    for doc_id, text in documents:
+        seed_engine.add_document(doc_id, text)
+    seed_df = build_stemmed_df(text for __, text in documents)
+    suggestions = SuggestionService(query_log)
+    seed_miner = RelevantKeywordMiner(
+        SnippetService(seed_engine), PrismaTool(seed_engine), suggestions, seed_df
+    )
+    corpus = TokenizedCorpus(documents)
+    fast_miner = VectorizedKeywordMiner(
+        corpus, corpus.engine(), suggestions, corpus.stemmed_df()
+    )
+    sample = rng.sample(concepts, min(MINER_SAMPLE, len(concepts)))
+    vectorized_miner_matches_seed = all(
+        seed_miner.mine(phrase, resource) == fast_miner.mine(phrase, resource)
+        for resource in RESOURCES
+        for phrase in sample
+    )
+
+    serial = {
+        resource: {phrase: seed_miner.mine(phrase, resource) for phrase in sample}
+        for resource in RESOURCES
+    }
+    parallel_mining_matches_serial = (
+        seed_miner.mine_many(sample, RESOURCES, workers=2, chunk_size=5) == serial
+    )
+
+    speedup = seed_report.total_seconds / fast_report.total_seconds
+    snapshot = {
+        "config": {
+            "documents": doc_count,
+            "concepts": concept_count,
+            "vocabulary": VOCABULARY_SIZE,
+            "queries": len(query_log),
+            "miner_sample": len(sample),
+        },
+        "seed_build": {
+            "total_seconds": round(seed_report.total_seconds, 4),
+            "docs_per_second": round(seed_report.docs_per_second, 1),
+            "concepts_per_second": round(seed_report.concepts_per_second, 1),
+            "stage_seconds": _stage_map(seed_report),
+        },
+        "fast_build": {
+            "total_seconds": round(fast_report.total_seconds, 4),
+            "docs_per_second": round(fast_report.docs_per_second, 1),
+            "concepts_per_second": round(fast_report.concepts_per_second, 1),
+            "stage_seconds": _stage_map(fast_report),
+        },
+        "fanout_build": {
+            "workers": fanout_report.workers,
+            "total_seconds": round(fanout_report.total_seconds, 4),
+        },
+        "speedup": {
+            "end_to_end": round(speedup, 2),
+            "relevance_stage": round(
+                seed_report.stage("relevance").seconds
+                / max(fast_report.stage("relevance").seconds, 1e-9),
+                2,
+            ),
+            "corpus_and_index": round(
+                (
+                    seed_report.stage("corpus").seconds
+                    + seed_report.stage("index").seconds
+                )
+                / max(
+                    fast_report.stage("corpus").seconds
+                    + fast_report.stage("index").seconds,
+                    1e-9,
+                ),
+                2,
+            ),
+        },
+        "equivalence": {
+            "pack_bytes_identical": bool(pack_bytes_identical),
+            "parallel_pack_identical": bool(parallel_pack_identical),
+            "frozen_index_matches_dict": bool(frozen_index_matches_dict),
+            "parallel_mining_matches_serial": bool(parallel_mining_matches_serial),
+            "vectorized_units_match_seed": bool(vectorized_units_match_seed),
+            "vectorized_miner_matches_seed": bool(vectorized_miner_matches_seed),
+        },
+    }
+    return snapshot
+
+
+def check_snapshot(snapshot, floor=MIN_SPEEDUP):
+    """The PR's acceptance criteria, enforced on every run."""
+    flags = snapshot["equivalence"]
+    assert all(flags.values()), flags
+    assert snapshot["speedup"]["end_to_end"] >= floor, snapshot["speedup"]
+
+
+def report_lines(snapshot):
+    config = snapshot["config"]
+    seed_build = snapshot["seed_build"]
+    fast_build = snapshot["fast_build"]
+    return [
+        f"corpus: {config['documents']} docs, {config['concepts']} concepts, "
+        f"{config['queries']} distinct queries",
+        f"seed build: {seed_build['total_seconds']:7.3f}s "
+        f"({seed_build['docs_per_second']:.0f} docs/s, "
+        f"{seed_build['concepts_per_second']:.0f} concepts/s)",
+        f"fast build: {fast_build['total_seconds']:7.3f}s "
+        f"({fast_build['docs_per_second']:.0f} docs/s, "
+        f"{fast_build['concepts_per_second']:.0f} concepts/s)",
+        f"speedup: end-to-end {snapshot['speedup']['end_to_end']:.2f}x, "
+        f"relevance stage {snapshot['speedup']['relevance_stage']:.2f}x, "
+        f"corpus+index {snapshot['speedup']['corpus_and_index']:.2f}x",
+        f"equivalence: {snapshot['equivalence']}",
+    ]
+
+
+def test_offline_build():
+    """Pytest entry: run the benchmark and enforce the acceptance bar."""
+    snapshot = run_offline_benchmark()
+    check_snapshot(snapshot)
+    with open(SNAPSHOT_PATH, "w") as handle:
+        json.dump(snapshot, handle, indent=1)
+        handle.write("\n")
+    record_section("Offline build — vectorized pipeline vs seed path", report_lines(snapshot))
+
+
+def main(argv):
+    if "--smoke" in argv:
+        snapshot = run_offline_benchmark(SMOKE_DOC_COUNT, SMOKE_CONCEPT_COUNT)
+        check_snapshot(snapshot, floor=SMOKE_MIN_SPEEDUP)
+    else:
+        snapshot = run_offline_benchmark()
+        check_snapshot(snapshot)
+    if "--smoke" not in argv:  # the snapshot tracks the full-size run only
+        with open(SNAPSHOT_PATH, "w") as handle:
+            json.dump(snapshot, handle, indent=1)
+            handle.write("\n")
+    print("\n".join(report_lines(snapshot)))
+    print("offline benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

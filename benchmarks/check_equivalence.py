@@ -1,7 +1,7 @@
 """CI guard: fail if any checked-in benchmark equivalence flag is false.
 
-The benchmark snapshots (``BENCH_hotpath.json``, ``BENCH_store.json``)
-carry boolean flags proving the optimized paths reproduce the seed
+The benchmark snapshots (``BENCH_hotpath.json``, ``BENCH_store.json``,
+``BENCH_offline.json``) carry boolean flags proving the optimized paths reproduce the seed
 implementations exactly — single-pass vs multi-pass detections,
 parallel vs sequential batches, columnar/compressed/mmap scoring vs the
 seed per-element loop.  A perf PR that breaks equivalence but still
@@ -9,7 +9,7 @@ seed per-element loop.  A perf PR that breaks equivalence but still
 into a CI failure.
 
 Usage: ``python benchmarks/check_equivalence.py [snapshot.json ...]``
-(defaults to both snapshots next to this file).
+(defaults to the snapshots next to this file).
 """
 
 import json
@@ -21,6 +21,7 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_SNAPSHOTS = (
     os.path.join(_HERE, "BENCH_hotpath.json"),
     os.path.join(_HERE, "BENCH_store.json"),
+    os.path.join(_HERE, "BENCH_offline.json"),
 )
 
 # snapshot basename -> dotted paths of the boolean flags it must carry
@@ -34,6 +35,14 @@ REQUIRED_FLAGS = {
         "equivalence.score_matches_score_many",
         "equivalence.compressed_matches_seed",
         "equivalence.mmap_load_matches_memory",
+    ),
+    "BENCH_offline.json": (
+        "equivalence.pack_bytes_identical",
+        "equivalence.parallel_pack_identical",
+        "equivalence.frozen_index_matches_dict",
+        "equivalence.parallel_mining_matches_serial",
+        "equivalence.vectorized_units_match_seed",
+        "equivalence.vectorized_miner_matches_seed",
     ),
 }
 

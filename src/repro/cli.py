@@ -8,7 +8,10 @@ Commands:
   (table2/table3/table4/table5/editorial/production/temporal) at a
   configurable scale and print the measured rows;
 * ``rank <file>`` — train the combined ranker in a small world and rank
-  the detectable concepts of an arbitrary text file.
+  the detectable concepts of an arbitrary text file;
+* ``build-pack <out>`` — run the parallel vectorized offline builder
+  (corpus -> index -> units -> interestingness -> relevance -> quantize
+  -> pack) and write the v2 serving datapacks with per-stage timings.
 """
 
 from __future__ import annotations
@@ -183,6 +186,50 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_pack(args: argparse.Namespace) -> int:
+    """One-command offline build over a synthetic world."""
+    from repro.corpus.world import SyntheticWorld
+    from repro.offline.builder import BuildConfig, OfflineBuilder
+    from repro.querylog.generator import query_log_for_world
+
+    world_config = _QUICK_WORLD if args.quick else _EXPERIMENT_WORLD
+    print("building synthetic world ...", flush=True)
+    world = SyntheticWorld.build(world_config)
+    query_log = query_log_for_world(world, seed=101)
+    phrases = [" ".join(concept.terms) for concept in world.concepts]
+    config = BuildConfig(
+        fast=not args.seed_path,
+        workers=args.workers,
+        resource=args.resource,
+    )
+    print(
+        f"building packs ({config.resolved_workers()} worker(s), "
+        f"{'seed' if args.seed_path else 'fast'} pipeline) ...",
+        flush=True,
+    )
+    report = OfflineBuilder(config).build(
+        world.web_corpus,
+        query_log,
+        phrases,
+        args.out,
+        dictionary=world.dictionary,
+        wikipedia=world.wikipedia,
+    )
+    for stage in report.stages:
+        print(
+            f"  {stage.name:<16s} {stage.seconds:8.3f}s  "
+            f"{stage.items_per_second:10.1f} {stage.unit}/s"
+        )
+    print(
+        f"total {report.total_seconds:.3f}s — "
+        f"{report.docs_per_second:.1f} docs/s, "
+        f"{report.concepts_per_second:.1f} concepts/s"
+    )
+    for name, path in report.pack_paths.items():
+        print(f"  {name}: {path} (sha256 {report.pack_sha256[name][:12]}...)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -226,6 +273,27 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--top", type=int, default=10)
     rank.add_argument("--stories", type=int, default=150)
     rank.set_defaults(handler=_cmd_rank)
+
+    build_pack = commands.add_parser(
+        "build-pack", help="offline build: corpus + query log -> v2 datapacks"
+    )
+    build_pack.add_argument("out", help="output directory for the packs")
+    build_pack.add_argument("--quick", action="store_true")
+    build_pack.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for relevance mining (default: cpu count)",
+    )
+    build_pack.add_argument(
+        "--resource",
+        choices=["snippets", "prisma", "suggestions"],
+        default="snippets",
+        help="relevance-mining resource to pack",
+    )
+    build_pack.add_argument(
+        "--seed-path", action="store_true",
+        help="run the seed-style serial dict pipeline (equivalence baseline)",
+    )
+    build_pack.set_defaults(handler=_cmd_build_pack)
     return parser
 
 

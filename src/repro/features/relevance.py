@@ -22,8 +22,11 @@ relevance score in any context.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from collections import Counter
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.search.prisma import PrismaTool
 from repro.search.snippets import SnippetService
@@ -65,6 +68,37 @@ def build_stemmed_df(texts: Iterable[str]) -> DocumentFrequencyTable:
     for text in texts:
         table.add_document(stemmed_terms(text))
     return table
+
+
+# -- process-pool plumbing -------------------------------------------------
+#
+# Worker processes are forked with the miner already constructed, so the
+# engine/index state is inherited copy-on-write and never pickled.  Each
+# work item is just (resource, [phrases...]); results are plain tuples.
+
+_POOL_MINER: Optional["RelevantKeywordMiner"] = None
+
+
+def _pool_initializer(miner: "RelevantKeywordMiner") -> None:
+    global _POOL_MINER
+    _POOL_MINER = miner
+
+
+def _pool_mine_chunk(job: Tuple[str, List[str]]) -> List[RelevantTerms]:
+    resource, phrases = job
+    return [_POOL_MINER.mine(phrase, resource) for phrase in phrases]
+
+
+def _pool_mine_chunk_with(
+    miner: "RelevantKeywordMiner", job: Tuple[str, List[str]]
+) -> List[RelevantTerms]:
+    """Serial twin of :func:`_pool_mine_chunk` (fallback path)."""
+    resource, phrases = job
+    return [miner.mine(phrase, resource) for phrase in phrases]
+
+
+def _chunked(items: Sequence, size: int) -> List[List]:
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
 class RelevantKeywordMiner:
@@ -122,6 +156,61 @@ class RelevantKeywordMiner:
             return self.mine_from_suggestions(phrase)
         raise ValueError(f"unknown resource: {resource!r}")
 
+    def mine_many(
+        self,
+        phrases: Sequence[str],
+        resources: Sequence[str] = RESOURCES,
+        workers: Optional[int] = None,
+        chunk_size: int = 32,
+    ) -> Dict[str, Dict[str, RelevantTerms]]:
+        """Fan per-(resource, phrase) mining across a process pool.
+
+        Returns ``{resource: {phrase: terms}}`` with the inner dicts in
+        input phrase order.  The work list is chunked per resource and
+        dispatched through ``ProcessPoolExecutor.map``, whose ordered
+        semantics give a deterministic merge: results are identical to
+        the serial loop no matter how chunks land on workers.  With one
+        worker (or when a pool cannot be spawned) the serial path runs
+        in-process.
+        """
+        phrases = list(phrases)
+        jobs = [
+            (resource, chunk)
+            for resource in resources
+            for chunk in _chunked(phrases, max(1, chunk_size))
+        ]
+        if workers is None:
+            workers = os.cpu_count() or 1
+        chunk_results: List[List[RelevantTerms]]
+        if workers > 1 and len(jobs) > 1:
+            chunk_results = self._mine_jobs_parallel(jobs, workers)
+        else:
+            chunk_results = [_pool_mine_chunk_with(self, job) for job in jobs]
+        merged: Dict[str, Dict[str, RelevantTerms]] = {
+            resource: {} for resource in resources
+        }
+        for (resource, chunk), results in zip(jobs, chunk_results):
+            merged[resource].update(zip(chunk, results))
+        return merged
+
+    def _mine_jobs_parallel(
+        self, jobs: List[Tuple[str, List[str]]], workers: int
+    ) -> List[List[RelevantTerms]]:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: stay serial
+            return [_pool_mine_chunk_with(self, job) for job in jobs]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)),
+                mp_context=context,
+                initializer=_pool_initializer,
+                initargs=(self,),
+            ) as pool:
+                return list(pool.map(_pool_mine_chunk, jobs))
+        except OSError:  # fork refused (sandbox / rlimit): stay serial
+            return [_pool_mine_chunk_with(self, job) for job in jobs]
+
     # -- helpers ---------------------------------------------------------
 
     def _tf_idf_keywords(self, phrase: str, document: str) -> RelevantTerms:
@@ -167,8 +256,18 @@ class RelevanceModel:
         miner: RelevantKeywordMiner,
         phrases: Sequence[str],
         resource: str = RESOURCE_SNIPPETS,
+        workers: int = 1,
     ) -> "RelevanceModel":
-        """Run the offline mining for every phrase."""
+        """Run the offline mining for every phrase.
+
+        ``workers > 1`` fans the phrase list across a process pool via
+        :meth:`RelevantKeywordMiner.mine_many`; the merge preserves
+        input order, so the resulting model is identical to the serial
+        build.
+        """
+        if workers > 1:
+            mined = miner.mine_many(phrases, (resource,), workers=workers)
+            return cls(mined[resource])
         return cls({phrase: miner.mine(phrase, resource) for phrase in phrases})
 
 

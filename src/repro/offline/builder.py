@@ -1,0 +1,332 @@
+"""One-command offline build: corpus + query log -> v2 datapacks.
+
+Paper Section VI describes the production split: every ranking artifact
+— the positional index behind phrase result counts, the MI-mined unit
+lexicon, the Table I interestingness vectors, the per-concept
+relevantTerms — is computed offline and shipped to the runtime as
+quantized stores.  :class:`OfflineBuilder` runs that whole offline half
+as an explicit stage DAG::
+
+    corpus -> index -> units -> interestingness -> relevance -> quantize -> pack
+
+with per-stage timings, in one of two modes:
+
+* ``fast=True`` (default): single tokenization pass shared by all
+  stages (:class:`TokenizedCorpus`), CSR frozen index, vectorized
+  unit/keyword mining, optional process-pool fan-out for the
+  per-concept relevance mining;
+* ``fast=False``: the seed-style serial dict/Counter pipeline, kept as
+  the equivalence baseline.
+
+Both modes produce byte-identical packs (asserted by tests and by
+``benchmarks/bench_offline.py``), and so does every worker count —
+chunk results merge in input order and global TIDs are assigned in
+phrase order, so the pack bytes never depend on scheduling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.corpus.dictionaries import EditorialDictionary
+from repro.corpus.wikipedia import WikipediaStore
+from repro.features.interestingness import InterestingnessExtractor
+from repro.features.relevance import (
+    RESOURCE_SNIPPETS,
+    RelevanceModel,
+    RelevantKeywordMiner,
+    build_stemmed_df,
+)
+from repro.offline.corpus import TokenizedCorpus, normalize_documents
+from repro.offline.mining import VectorizedKeywordMiner
+from repro.querylog.log import QueryLog
+from repro.querylog.units import UnitMiner, VectorizedUnitMiner
+from repro.runtime.datapack import save_interestingness_store, save_relevance_store
+from repro.runtime.store import QuantizedInterestingnessStore
+from repro.runtime.tid import PackedRelevanceStore
+from repro.search.engine import SearchEngine
+from repro.search.prisma import PrismaTool
+from repro.search.snippets import SnippetService
+from repro.search.suggestions import SuggestionService
+
+INTERESTINGNESS_PACK = "interestingness.rpak"
+RELEVANCE_PACK = "relevance.rpak"
+MANIFEST = "manifest.json"
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Knobs for one offline build."""
+
+    fast: bool = True
+    workers: Optional[int] = None  # None -> os.cpu_count()
+    resource: str = RESOURCE_SNIPPETS
+    keyword_count: int = 100
+    k1: float = 1.2
+    b: float = 0.75
+
+    def resolved_workers(self) -> int:
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(1, int(self.workers))
+
+
+@dataclass
+class StageStats:
+    """Wall-clock and throughput for one pipeline stage."""
+
+    name: str
+    seconds: float
+    items: int
+    unit: str
+
+    @property
+    def items_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.items / self.seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "items": self.items,
+            "unit": self.unit,
+            "items_per_second": round(self.items_per_second, 3),
+        }
+
+
+@dataclass
+class BuildReport:
+    """Everything a caller (CLI, bench, tests) needs about one build."""
+
+    mode: str
+    workers: int
+    document_count: int
+    concept_count: int
+    stages: List[StageStats] = field(default_factory=list)
+    pack_paths: Dict[str, str] = field(default_factory=dict)
+    pack_sha256: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def stage(self, name: str) -> StageStats:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"unknown stage: {name!r}")
+
+    @property
+    def docs_per_second(self) -> float:
+        seconds = self.stage("corpus").seconds + self.stage("index").seconds
+        if seconds <= 0.0:
+            return 0.0
+        return self.document_count / seconds
+
+    @property
+    def concepts_per_second(self) -> float:
+        seconds = (
+            self.stage("interestingness").seconds + self.stage("relevance").seconds
+        )
+        if seconds <= 0.0:
+            return 0.0
+        return self.concept_count / seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "document_count": self.document_count,
+            "concept_count": self.concept_count,
+            "total_seconds": round(self.total_seconds, 6),
+            "docs_per_second": round(self.docs_per_second, 3),
+            "concepts_per_second": round(self.concepts_per_second, 3),
+            "stages": [stage.as_dict() for stage in self.stages],
+            "pack_paths": dict(self.pack_paths),
+            "pack_sha256": dict(self.pack_sha256),
+        }
+
+
+class _StageClock:
+    """Collects :class:`StageStats` around pipeline sections."""
+
+    def __init__(self):
+        self.stages: List[StageStats] = []
+
+    def run(self, name: str, items: int, unit: str, thunk):
+        started = time.perf_counter()
+        result = thunk()
+        self.stages.append(
+            StageStats(name, time.perf_counter() - started, items, unit)
+        )
+        return result
+
+
+class OfflineBuilder:
+    """Runs the offline stage DAG and writes the serving datapacks."""
+
+    def __init__(self, config: Optional[BuildConfig] = None):
+        self.config = config or BuildConfig()
+
+    def build(
+        self,
+        documents: Iterable,
+        query_log: QueryLog,
+        phrases: Sequence[str],
+        out_dir,
+        dictionary: Optional[EditorialDictionary] = None,
+        wikipedia: Optional[WikipediaStore] = None,
+    ) -> BuildReport:
+        """Build packs for *phrases* into *out_dir* and report timings.
+
+        *documents* may be (doc_id, text) pairs or objects with
+        ``doc_id``/``text``; *dictionary*/*wikipedia* default to empty
+        stand-ins (their features then read as absent).
+        """
+        config = self.config
+        docs = normalize_documents(documents)
+        phrases = list(phrases)
+        dictionary = dictionary if dictionary is not None else EditorialDictionary([])
+        wikipedia = wikipedia if wikipedia is not None else WikipediaStore({})
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        clock = _StageClock()
+
+        if config.fast:
+            corpus, stemmed_df = clock.run(
+                "corpus",
+                len(docs),
+                "docs",
+                lambda: self._fast_corpus(docs),
+            )
+            engine = clock.run(
+                "index",
+                len(docs),
+                "docs",
+                lambda: corpus.engine(k1=config.k1, b=config.b),
+            )
+            lexicon = clock.run(
+                "units",
+                len(query_log),
+                "queries",
+                lambda: VectorizedUnitMiner().mine(query_log),
+            )
+        else:
+            corpus = None
+            stemmed_df = clock.run(
+                "corpus",
+                len(docs),
+                "docs",
+                lambda: build_stemmed_df(text for __, text in docs),
+            )
+            engine = clock.run(
+                "index",
+                len(docs),
+                "docs",
+                lambda: self._seed_engine(docs, config.k1, config.b),
+            )
+            lexicon = clock.run(
+                "units",
+                len(query_log),
+                "queries",
+                lambda: UnitMiner().mine(query_log),
+            )
+
+        extractor = InterestingnessExtractor(
+            query_log, lexicon, engine, dictionary, wikipedia
+        )
+        vectors = clock.run(
+            "interestingness",
+            len(phrases),
+            "concepts",
+            lambda: extractor.extract_many(phrases),
+        )
+
+        suggestions = SuggestionService(query_log)
+        if config.fast:
+            miner: RelevantKeywordMiner = VectorizedKeywordMiner(
+                corpus, engine, suggestions, stemmed_df, config.keyword_count
+            )
+        else:
+            miner = RelevantKeywordMiner(
+                SnippetService(engine),
+                PrismaTool(engine),
+                suggestions,
+                stemmed_df,
+                config.keyword_count,
+            )
+        workers = config.resolved_workers() if config.fast else 1
+        model = clock.run(
+            "relevance",
+            len(phrases),
+            "concepts",
+            lambda: RelevanceModel.mine_all(
+                miner, phrases, config.resource, workers=workers
+            ),
+        )
+
+        interestingness_store, relevance_store = clock.run(
+            "quantize",
+            len(phrases),
+            "concepts",
+            lambda: (
+                QuantizedInterestingnessStore.from_vectors(vectors),
+                PackedRelevanceStore.build(model),
+            ),
+        )
+
+        pack_paths = {
+            "interestingness": str(out / INTERESTINGNESS_PACK),
+            "relevance": str(out / RELEVANCE_PACK),
+        }
+        clock.run(
+            "pack",
+            len(phrases),
+            "concepts",
+            lambda: (
+                save_interestingness_store(
+                    interestingness_store, pack_paths["interestingness"]
+                ),
+                save_relevance_store(relevance_store, pack_paths["relevance"]),
+            ),
+        )
+
+        report = BuildReport(
+            mode="fast" if config.fast else "seed",
+            workers=workers,
+            document_count=len(docs),
+            concept_count=len(phrases),
+            stages=clock.stages,
+            pack_paths=pack_paths,
+            pack_sha256={
+                name: _sha256(path) for name, path in pack_paths.items()
+            },
+        )
+        (out / MANIFEST).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return report
+
+    @staticmethod
+    def _fast_corpus(docs):
+        corpus = TokenizedCorpus(docs)
+        return corpus, corpus.stemmed_df()
+
+    @staticmethod
+    def _seed_engine(docs, k1: float, b: float) -> SearchEngine:
+        engine = SearchEngine(k1=k1, b=b)
+        for doc_id, text in docs:
+            engine.add_document(doc_id, text)
+        return engine
+
+
+def _sha256(path) -> str:
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()

@@ -1,0 +1,204 @@
+"""Single-pass tokenized corpus shared by every offline build stage.
+
+The seed pipeline tokenizes the corpus once to build the search index
+and a second time to build the stemmed document-frequency table, then
+re-tokenizes snippet text per mined concept.  :class:`TokenizedCorpus`
+runs the tokenizer exactly once per document, interns tokens into a
+vocabulary of integer ids, and derives everything else from the id
+arrays:
+
+* the CSR :class:`~repro.search.frozen.FrozenInvertedIndex` (one stable
+  sort of the flat token stream);
+* the stemmed df table (per-document ``np.unique`` over stem ids);
+* per-vocabulary stem ids, stopword mask and alphabetical rank tables
+  that let the vectorized miners count/rank without touching strings.
+
+All derived statistics are integer-exact matches for the seed's
+string-at-a-time computations because the token streams are the very
+same ``tokenize_lower`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.search.engine import SearchEngine
+from repro.search.frozen import FrozenInvertedIndex
+from repro.text.stemmer import stem
+from repro.text.stopwords import is_stopword
+from repro.text.tokenizer import words_lower
+from repro.text.vectorize import DocumentFrequencyTable
+
+DocumentInput = Union[Tuple[int, str], "object"]
+
+
+def normalize_documents(documents: Iterable) -> List[Tuple[int, str]]:
+    """Accept (doc_id, text) pairs or objects with doc_id/text attrs."""
+    normalized: List[Tuple[int, str]] = []
+    for document in documents:
+        if isinstance(document, tuple):
+            doc_id, text = document
+        else:
+            doc_id, text = document.doc_id, document.text
+        normalized.append((int(doc_id), text))
+    return normalized
+
+
+class TokenizedCorpus:
+    """Interned token streams plus lazily derived lookup tables."""
+
+    def __init__(self, documents: Iterable):
+        self.doc_ids: List[int] = []
+        self.token_lists: List[List[str]] = []
+        self.id_arrays: List[np.ndarray] = []
+        self.vocabulary: Dict[str, int] = {}
+        self.terms: List[str] = []
+        vocabulary = self.vocabulary
+        terms = self.terms
+        for doc_id, text in normalize_documents(documents):
+            tokens = words_lower(text)
+            for token in tokens:
+                if token not in vocabulary:
+                    vocabulary[token] = len(terms)
+                    terms.append(token)
+            ids = np.fromiter(
+                map(vocabulary.__getitem__, tokens),
+                dtype=np.int32,
+                count=len(tokens),
+            )
+            self.doc_ids.append(doc_id)
+            self.token_lists.append(tokens)
+            self.id_arrays.append(ids)
+        self._doc_rows: Dict[int, int] = {
+            doc_id: row for row, doc_id in enumerate(self.doc_ids)
+        }
+        self._stop_mask: Optional[np.ndarray] = None
+        self._stem_ids: Optional[np.ndarray] = None
+        self._stem_terms: Optional[List[str]] = None
+        self._stem_index: Optional[Dict[str, int]] = None
+        self._term_alpha_rank: Optional[np.ndarray] = None
+        self._stem_alpha_rank: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def doc_row(self, doc_id: int) -> int:
+        return self._doc_rows[doc_id]
+
+    # -- vocabulary-level tables (lazy) ----------------------------------
+
+    @property
+    def stop_mask(self) -> np.ndarray:
+        """bool[V]: is the vocabulary term a stopword."""
+        if self._stop_mask is None:
+            self._stop_mask = np.fromiter(
+                (is_stopword(term) for term in self.terms),
+                dtype=bool,
+                count=len(self.terms),
+            )
+        return self._stop_mask
+
+    def _build_stems(self) -> None:
+        stem_index: Dict[str, int] = {}
+        stem_terms: List[str] = []
+        stem_ids = np.empty(len(self.terms), dtype=np.int64)
+        for vid, term in enumerate(self.terms):
+            stemmed = stem(term)
+            sid = stem_index.get(stemmed)
+            if sid is None:
+                sid = len(stem_terms)
+                stem_index[stemmed] = sid
+                stem_terms.append(stemmed)
+            stem_ids[vid] = sid
+        self._stem_ids = stem_ids
+        self._stem_terms = stem_terms
+        self._stem_index = stem_index
+
+    @property
+    def stem_ids(self) -> np.ndarray:
+        """int64[V]: stem id of each vocabulary term."""
+        if self._stem_ids is None:
+            self._build_stems()
+        return self._stem_ids
+
+    @property
+    def stem_terms(self) -> List[str]:
+        """Stem id -> stem string."""
+        if self._stem_terms is None:
+            self._build_stems()
+        return self._stem_terms
+
+    @property
+    def stem_index(self) -> Dict[str, int]:
+        """Stem string -> stem id."""
+        if self._stem_index is None:
+            self._build_stems()
+        return self._stem_index
+
+    @staticmethod
+    def _alpha_rank(values: Sequence[str]) -> np.ndarray:
+        """rank[i] = position of values[i] in ascending lexicographic order.
+
+        Used as the secondary ``np.lexsort`` key so vectorized top-k
+        selection reproduces the seed's ``(-score, term)`` tie-break.
+        """
+        order = sorted(range(len(values)), key=values.__getitem__)
+        rank = np.empty(len(values), dtype=np.int64)
+        rank[order] = np.arange(len(values), dtype=np.int64)
+        return rank
+
+    @property
+    def term_alpha_rank(self) -> np.ndarray:
+        if self._term_alpha_rank is None:
+            self._term_alpha_rank = self._alpha_rank(self.terms)
+        return self._term_alpha_rank
+
+    @property
+    def stem_alpha_rank(self) -> np.ndarray:
+        if self._stem_alpha_rank is None:
+            self._stem_alpha_rank = self._alpha_rank(self.stem_terms)
+        return self._stem_alpha_rank
+
+    # -- derived artifacts ----------------------------------------------
+
+    def frozen_index(self) -> FrozenInvertedIndex:
+        """CSR index straight from the interned streams (no dict stage)."""
+        return FrozenInvertedIndex.from_token_streams(
+            self.doc_ids, self.id_arrays, self.terms
+        )
+
+    def engine(self, k1: float = 1.2, b: float = 0.75) -> SearchEngine:
+        """A frozen search engine over this corpus."""
+        tokens = dict(zip(self.doc_ids, self.token_lists))
+        return SearchEngine.from_frozen(self.frozen_index(), tokens, k1=k1, b=b)
+
+    def stemmed_df(self) -> DocumentFrequencyTable:
+        """Stemmed document-frequency table, one unique-pass per doc.
+
+        Matches ``build_stemmed_df``: stopwords are dropped *before*
+        stemming, and each document contributes its distinct stems once.
+        """
+        stop = self.stop_mask
+        stem_ids = self.stem_ids
+        counts = np.zeros(len(self.stem_terms), dtype=np.int64)
+        for ids in self.id_arrays:
+            content = ids[~stop[ids]]
+            if content.size:
+                counts[np.unique(stem_ids[content])] += 1
+        stem_terms = self.stem_terms
+        doc_freq = {
+            stem_terms[sid]: int(count)
+            for sid, count in enumerate(counts.tolist())
+            if count
+        }
+        return DocumentFrequencyTable.from_counts(doc_freq, len(self.doc_ids))
+
+    def raw_idf_vector(self, table: DocumentFrequencyTable) -> np.ndarray:
+        """float64[S]: ``table.raw_idf`` evaluated once per stem."""
+        return np.fromiter(
+            (table.raw_idf(term) for term in self.stem_terms),
+            dtype=np.float64,
+            count=len(self.stem_terms),
+        )

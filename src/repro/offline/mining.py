@@ -1,0 +1,173 @@
+"""Vectorized relevant-keyword mining over a :class:`TokenizedCorpus`.
+
+Drop-in subclasses of the Section IV-B miners that work on interned
+token ids instead of strings:
+
+* :class:`VectorizedPrismaTool` accumulates the pseudo-relevance
+  feedback scores with one masked gather + ``np.add.at`` per result
+  document (seed: a python loop over every token of every top-50 doc);
+* :class:`VectorizedKeywordMiner` mines snippet keywords without ever
+  materialising snippet strings — the frozen index hands it each
+  matching document's first phrase occurrence (exactly the anchor
+  ``make_snippet`` would find, since every phrase-search hit contains
+  the exact phrase), the window arithmetic is replayed on the id
+  arrays, and tf*idf + top-k runs as bincount / lexsort.  This is sound
+  because ``tokenize_lower`` is idempotent on its own output: joining
+  window tokens with spaces and re-tokenizing (what the seed does)
+  yields the very same token sequence.
+
+Both reproduce the seed byte-for-byte: same float arithmetic in the
+same accumulation order, same ``(-score, term)`` tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.features.relevance import (
+    RelevantKeywordMiner,
+    RelevantTerms,
+    stemmed_terms,
+)
+from repro.offline.corpus import TokenizedCorpus
+from repro.search.engine import SearchEngine
+from repro.search.prisma import PrismaTool
+from repro.search.snippets import SnippetService
+from repro.search.suggestions import SuggestionService
+from repro.text.tokenizer import tokenize_lower
+from repro.text.vectorize import DocumentFrequencyTable
+
+
+class VectorizedPrismaTool(PrismaTool):
+    """Pseudo-relevance feedback with array accumulation."""
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        corpus: TokenizedCorpus,
+        feedback_documents: int = 50,
+        feedback_terms: int = 20,
+    ):
+        super().__init__(engine, feedback_documents, feedback_terms)
+        self._corpus = corpus
+
+    def feedback(self, query: str) -> List[Tuple[str, float]]:
+        corpus = self._corpus
+        query_terms = set(tokenize_lower(query))
+        results = self._engine.search(query, limit=self.feedback_documents)
+        if not results:
+            return []
+        blocked = corpus.stop_mask.copy()
+        for term in query_terms:
+            vid = corpus.vocabulary.get(term)
+            if vid is not None:
+                blocked[vid] = True
+        scores = np.zeros(len(corpus.terms))
+        for rank, result in enumerate(results):
+            rank_weight = 1.0 / (1.0 + rank)
+            ids = corpus.id_arrays[corpus.doc_row(result.doc_id)]
+            length = max(1, len(ids))
+            keep = ~blocked[ids]
+            kept_ids = ids[keep]
+            if not kept_ids.size:
+                continue
+            positions = np.flatnonzero(keep)
+            # Same op order as the seed loop, elementwise:
+            # 1.0 + (1.0 - position / length) * 0.5, then * rank_weight.
+            position_bonus = 1.0 + (1.0 - positions / length) * 0.5
+            np.add.at(scores, kept_ids, rank_weight * position_bonus)
+        touched = np.flatnonzero(scores)
+        if not touched.size:
+            return []
+        order = np.lexsort((corpus.term_alpha_rank[touched], -scores[touched]))
+        top = touched[order[: self.feedback_terms]]
+        terms = corpus.terms
+        return [(terms[vid], float(scores[vid])) for vid in top.tolist()]
+
+
+class VectorizedKeywordMiner(RelevantKeywordMiner):
+    """Snippet mining on id arrays; Prisma/suggestions via the bases.
+
+    ``mine_from_prisma`` and ``mine_from_suggestions`` are inherited:
+    the former already routes through the (vectorized) Prisma tool and
+    the memoized stemmed-idf table; the latter is query-log bound.
+    """
+
+    def __init__(
+        self,
+        corpus: TokenizedCorpus,
+        engine: SearchEngine,
+        suggestions: SuggestionService,
+        stemmed_df: DocumentFrequencyTable,
+        keyword_count: int = 100,
+        snippet_window: int = 48,
+    ):
+        if engine.frozen is None:
+            raise ValueError("VectorizedKeywordMiner needs a frozen engine")
+        super().__init__(
+            SnippetService(engine, window=snippet_window),
+            VectorizedPrismaTool(engine, corpus),
+            suggestions,
+            stemmed_df,
+            keyword_count,
+        )
+        self._corpus = corpus
+        self._engine = engine
+        self._window = snippet_window
+        self._raw_idf = corpus.raw_idf_vector(stemmed_df)
+
+    def mine_from_snippets(self, phrase: str) -> RelevantTerms:
+        corpus = self._corpus
+        terms = tokenize_lower(phrase)
+        results = self._engine.phrase_search(phrase, limit=100)
+        if not results:
+            return self._top_terms({})
+        rows, __, firsts = self._engine.frozen.phrase_occurrences(terms)
+        first_start = dict(zip(rows.tolist(), firsts.tolist()))
+        window = self._window
+        half = window // 2
+        segments: List[np.ndarray] = []
+        for result in results:
+            row = corpus.doc_row(result.doc_id)
+            ids = corpus.id_arrays[row]
+            # make_snippet's window arithmetic around the first match
+            anchor = first_start[row]
+            start = max(0, anchor - half)
+            end = min(len(ids), start + window)
+            start = max(0, end - window)
+            segments.append(ids[start:end])
+        return self._scored_window_terms(phrase, np.concatenate(segments))
+
+    def _scored_window_terms(self, phrase: str, ids: np.ndarray) -> RelevantTerms:
+        """tf*idf over stem ids, excluding stopwords and concept stems."""
+        corpus = self._corpus
+        content = ids[~corpus.stop_mask[ids]]
+        if not content.size:
+            return self._top_terms({})
+        stem_ids = corpus.stem_ids[content]
+        concept_sids = self._concept_stem_ids(phrase)
+        if concept_sids:
+            stem_ids = stem_ids[
+                ~np.isin(stem_ids, np.asarray(sorted(concept_sids), dtype=np.int64))
+            ]
+            if not stem_ids.size:
+                return self._top_terms({})
+        unique_sids, counts = np.unique(stem_ids, return_counts=True)
+        scores = counts * self._raw_idf[unique_sids]
+        order = np.lexsort((corpus.stem_alpha_rank[unique_sids], -scores))
+        top = order[: self.keyword_count]
+        stem_terms = corpus.stem_terms
+        return tuple(
+            (stem_terms[unique_sids[at]], float(scores[at])) for at in top.tolist()
+        )
+
+    def _concept_stem_ids(self, phrase: str) -> Set[int]:
+        index = self._corpus.stem_index
+        sids = set()
+        for stemmed in stemmed_terms(phrase):
+            sid = index.get(stemmed)
+            if sid is not None:
+                sids.add(sid)
+        return sids

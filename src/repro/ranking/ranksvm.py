@@ -47,7 +47,13 @@ class StandardScaler:
     def transform(self, features: np.ndarray) -> np.ndarray:
         if self.mean_ is None:
             raise RuntimeError("scaler is not fitted")
-        return (np.asarray(features, dtype=float) - self.mean_) / self.scale_
+        # A float64 ndarray passes through asarray untouched, so the
+        # subtraction's fresh output can host the division in place —
+        # one temporary instead of two, and the input is never mutated.
+        features = np.asarray(features, dtype=float)
+        out = features - self.mean_
+        np.divide(out, self.scale_, out=out)
+        return out
 
 
 class RandomFourierFeatures:

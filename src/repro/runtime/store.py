@@ -161,13 +161,10 @@ class QuantizedInterestingnessStore:
         return store
 
     @classmethod
-    def build(
-        cls,
-        extractor: InterestingnessExtractor,
-        phrases: Sequence[str],
+    def from_vectors(
+        cls, vectors: Sequence[InterestingnessVector]
     ) -> "QuantizedInterestingnessStore":
-        """Offline precompute + quantization for an inventory of phrases."""
-        vectors = [extractor.extract(phrase) for phrase in phrases]
+        """Quantize already-extracted vectors (the offline-builder path)."""
         field_max = [
             max((float(v.value(name)) for v in vectors), default=1.0) or 1.0
             for name in _NUMERIC_FIELDS
@@ -176,3 +173,12 @@ class QuantizedInterestingnessStore:
         for vector in vectors:
             store.add(vector)
         return store
+
+    @classmethod
+    def build(
+        cls,
+        extractor: InterestingnessExtractor,
+        phrases: Sequence[str],
+    ) -> "QuantizedInterestingnessStore":
+        """Offline precompute + quantization for an inventory of phrases."""
+        return cls.from_vectors([extractor.extract(phrase) for phrase in phrases])

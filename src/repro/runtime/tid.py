@@ -22,7 +22,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.features.quantize import quantize
 from repro.features.relevance import RelevanceModel, stemmed_terms
 from repro.text.tokenized import DocumentLike
 from repro.runtime.arena import (
@@ -191,13 +190,30 @@ class PackedRelevanceStore:
         return self._arena is not None and key in self._arena.rows
 
     def add(self, phrase: str, relevant_terms) -> None:
-        """Pack one concept's relevant terms (staged until next lookup)."""
-        pairs: List[int] = []
-        for term, score in relevant_terms:
-            tid = self._tids.assign(term)
-            code = quantize(score, self.score_max, SCORE_BITS)
-            pairs.append(pack_pair(tid, code))
-        self._staged[phrase.lower()] = np.asarray(sorted(pairs), dtype=np.uint32)
+        """Pack one concept's relevant terms (staged until next lookup).
+
+        Vectorized, but code-for-code what `quantize` + `pack_pair` per
+        pair would produce: `np.rint` rounds half-to-even exactly like
+        python `round`, `assign` enforces the 22-bit TID range, and the
+        scaling runs in the same operand order in float64.
+        """
+        pairs = list(relevant_terms)
+        if not pairs:
+            self._staged[phrase.lower()] = np.zeros(0, dtype=np.uint32)
+            return
+        assign = self._tids.assign
+        tids = np.fromiter(
+            (assign(term) for term, __ in pairs), dtype=np.uint32, count=len(pairs)
+        )
+        packed = tids << np.uint32(SCORE_BITS)
+        if self.score_max > 0:
+            scores = np.fromiter(
+                (score for __, score in pairs), dtype=np.float64, count=len(pairs)
+            )
+            codes = np.rint(scores / self.score_max * MAX_SCORE_CODE)
+            packed |= np.clip(codes, 0, MAX_SCORE_CODE).astype(np.uint32)
+        packed.sort()
+        self._staged[phrase.lower()] = packed
 
     def _iter_segments(self):
         staged = self._staged

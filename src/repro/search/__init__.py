@@ -1,6 +1,7 @@
 """Search-engine substrate: index, engine, snippets, Prisma, suggestions."""
 
 from repro.search.engine import SearchEngine, SearchResult
+from repro.search.frozen import FrozenInvertedIndex
 from repro.search.index import InvertedIndex
 from repro.search.prisma import PrismaTool
 from repro.search.snippets import SnippetService, make_snippet
@@ -10,6 +11,7 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "InvertedIndex",
+    "FrozenInvertedIndex",
     "PrismaTool",
     "SnippetService",
     "make_snippet",

@@ -17,8 +17,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from repro.search.frozen import FrozenInvertedIndex
 from repro.search.index import InvertedIndex
 from repro.text.tokenizer import tokenize_lower
 
@@ -32,49 +35,141 @@ class SearchResult:
 
 
 class SearchEngine:
-    """BM25 search over tokenized documents, with phrase support."""
+    """BM25 search over tokenized documents, with phrase support.
+
+    Documents are staged into the mutable dict-backed
+    :class:`InvertedIndex`; calling :meth:`freeze` snapshots it into CSR
+    numpy columns (:class:`FrozenInvertedIndex`) after which every query
+    runs through the vectorized scorers.  Frozen and staged engines
+    return identical results, bit-for-bit — the vectorized paths
+    replicate the seed arithmetic in the seed's accumulation order.
+    """
 
     def __init__(self, k1: float = 1.2, b: float = 0.75):
         self.k1 = k1
         self.b = b
         self._index = InvertedIndex()
         self._tokens: Dict[int, List[str]] = {}
+        self._frozen: Optional[FrozenInvertedIndex] = None
+        self._length_norm: Optional[np.ndarray] = None
 
     @property
-    def index(self) -> InvertedIndex:
-        return self._index
+    def index(self):
+        """The active index: the frozen snapshot once one exists."""
+        return self._frozen if self._frozen is not None else self._index
+
+    @property
+    def frozen(self) -> Optional[FrozenInvertedIndex]:
+        return self._frozen
+
+    @property
+    def is_frozen(self) -> bool:
+        return self._frozen is not None
 
     @property
     def document_count(self) -> int:
-        return self._index.document_count
+        return self.index.document_count
 
     def add_document(self, doc_id: int, text: str) -> None:
         """Tokenize and index one document."""
-        tokens = tokenize_lower(text)
+        self.add_document_tokens(doc_id, tokenize_lower(text))
+
+    def add_document_tokens(self, doc_id: int, tokens: List[str]) -> None:
+        """Index an already tokenized document (offline fast path)."""
+        if self._frozen is not None:
+            raise RuntimeError("engine is frozen; cannot add documents")
         self._index.add_document(doc_id, tokens)
         self._tokens[doc_id] = tokens
+
+    def freeze(self) -> FrozenInvertedIndex:
+        """Snapshot the staged index into CSR columns (idempotent)."""
+        if self._frozen is None:
+            self._adopt(FrozenInvertedIndex.from_index(self._index))
+        return self._frozen
+
+    def _adopt(self, frozen: FrozenInvertedIndex) -> None:
+        self._frozen = frozen
+        avg_len = frozen.average_document_length or 1.0
+        lengths = frozen.doc_lengths.astype(np.float64)
+        # Same association order as the scalar path:
+        # 1 - b + (b * doc_length) / avg_length, left to right.
+        self._length_norm = 1 - self.b + self.b * lengths / avg_len
 
     def tokens(self, doc_id: int) -> List[str]:
         """The indexed token sequence of a document."""
         return self._tokens[doc_id]
 
+    @classmethod
+    def from_frozen(
+        cls,
+        frozen: FrozenInvertedIndex,
+        tokens: Dict[int, List[str]],
+        k1: float = 1.2,
+        b: float = 0.75,
+    ) -> "SearchEngine":
+        """Wrap a pre-built CSR index (skips the dict staging form)."""
+        engine = cls(k1=k1, b=b)
+        engine._tokens = tokens
+        engine._adopt(frozen)
+        return engine
+
     # -- scoring ---------------------------------------------------------
 
     def _idf(self, term: str) -> float:
-        df = self._index.document_frequency(term)
-        n = self._index.document_count
+        df = self.index.document_frequency(term)
+        n = self.index.document_count
         return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
 
     def _bm25(self, terms: Sequence[str], doc_id: int) -> float:
-        avg_len = self._index.average_document_length or 1.0
-        length_norm = 1 - self.b + self.b * self._index.doc_length(doc_id) / avg_len
+        index = self.index
+        avg_len = index.average_document_length or 1.0
+        length_norm = 1 - self.b + self.b * index.doc_length(doc_id) / avg_len
         score = 0.0
         for term in set(terms):
-            tf = self._index.term_frequency(term, doc_id)
+            tf = index.term_frequency(term, doc_id)
             if tf == 0:
                 continue
             score += self._idf(term) * tf * (self.k1 + 1) / (tf + self.k1 * length_norm)
         return score
+
+    def _ranked_results(
+        self, rows: np.ndarray, scores: np.ndarray, limit: int
+    ) -> List[SearchResult]:
+        """Sort (-score, doc_id) and materialise the top *limit*."""
+        doc_ids = self._frozen.doc_ids[rows]
+        order = np.lexsort((doc_ids, -scores))[:limit]
+        return [
+            SearchResult(doc_id, score)
+            for doc_id, score in zip(
+                doc_ids[order].tolist(), scores[order].tolist()
+            )
+        ]
+
+    def _search_frozen(self, terms: Sequence[str], limit: int) -> List[SearchResult]:
+        """Vectorized BM25: one gather-accumulate per distinct term.
+
+        Per-posting arithmetic mirrors :meth:`_bm25` exactly — same
+        operand order, same float64 ops — so scores are bit-identical.
+        """
+        frozen = self._frozen
+        scores = np.zeros(frozen.document_count)
+        touched = np.zeros(frozen.document_count, dtype=bool)
+        k1 = self.k1
+        for term in set(terms):
+            slot = frozen.slot(term)
+            if slot is None:
+                continue
+            rows, tfs = frozen.posting_slice(slot)
+            tf = tfs.astype(np.float64)
+            contribution = (
+                self._idf(term) * tf * (k1 + 1) / (tf + k1 * self._length_norm[rows])
+            )
+            scores[rows] += contribution
+            touched[rows] = True
+        rows = np.flatnonzero(touched)
+        if not rows.size:
+            return []
+        return self._ranked_results(rows, scores[rows], limit)
 
     # -- queries ---------------------------------------------------------
 
@@ -83,6 +178,8 @@ class SearchEngine:
         terms = tokenize_lower(query)
         if not terms:
             return []
+        if self._frozen is not None:
+            return self._search_frozen(terms, limit)
         candidates = set()
         for term in set(terms):
             candidates.update(self._index.postings(term))
@@ -97,8 +194,13 @@ class SearchEngine:
         terms = tokenize_lower(phrase)
         if not terms:
             return []
-        matches = self._index.phrase_postings(terms)
         idf = sum(self._idf(term) for term in terms)
+        if self._frozen is not None:
+            rows, counts, __ = self._frozen.phrase_occurrences(terms)
+            if not rows.size:
+                return []
+            return self._ranked_results(rows, counts * idf, limit)
+        matches = self._index.phrase_postings(terms)
         scored = [
             SearchResult(doc_id, count * idf) for doc_id, count in matches.items()
         ]
@@ -110,11 +212,20 @@ class SearchEngine:
         terms = tokenize_lower(phrase)
         if not terms:
             return 0
-        return self._index.phrase_document_count(terms)
+        return self.index.phrase_document_count(terms)
 
     def result_count(self, query: str) -> int:
         """Total number of pages matching the free query (any term)."""
         terms = tokenize_lower(query)
+        if self._frozen is not None:
+            frozen = self._frozen
+            touched = np.zeros(frozen.document_count, dtype=bool)
+            for term in set(terms):
+                slot = frozen.slot(term)
+                if slot is not None:
+                    rows, __ = frozen.posting_slice(slot)
+                    touched[rows] = True
+            return int(touched.sum())
         candidates = set()
         for term in set(terms):
             candidates.update(self._index.postings(term))

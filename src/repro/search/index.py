@@ -9,7 +9,10 @@ token positions to support exact phrase matching.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from types import MappingProxyType
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+_EMPTY_POSTINGS: Mapping[int, List[int]] = MappingProxyType({})
 
 
 class InvertedIndex:
@@ -43,13 +46,26 @@ class InvertedIndex:
     def doc_length(self, doc_id: int) -> int:
         return self._doc_lengths[doc_id]
 
+    def doc_items(self) -> List[Tuple[int, int]]:
+        """(doc_id, length) pairs in indexing order."""
+        return list(self._doc_lengths.items())
+
+    def terms(self) -> List[str]:
+        """Every indexed term, in first-seen order."""
+        return list(self._postings)
+
     def document_frequency(self, term: str) -> int:
         """Number of documents containing *term*."""
         return len(self._postings.get(term, ()))
 
-    def postings(self, term: str) -> Dict[int, List[int]]:
-        """doc_id -> sorted positions for *term* (empty dict if unseen)."""
-        return self._postings.get(term, {})
+    def postings(self, term: str) -> Mapping[int, List[int]]:
+        """doc_id -> sorted positions for *term* (empty mapping if unseen).
+
+        The mapping is a read-only view of index internals; treat the
+        position lists as read-only too.
+        """
+        found = self._postings.get(term)
+        return MappingProxyType(found) if found is not None else _EMPTY_POSTINGS
 
     def term_frequency(self, term: str, doc_id: int) -> int:
         return len(self._postings.get(term, {}).get(doc_id, ()))

@@ -115,6 +115,18 @@ def tokenize_lower(text: str) -> List[str]:
     return [token.lower for token in tokenize(text) if token.is_word()]
 
 
+def words_lower(text: str) -> List[str]:
+    """Exactly `tokenize_lower`, without materializing Token objects.
+
+    `_TOKEN_RE` has only non-capturing groups, so ``findall`` yields the
+    same full-match strings `tokenize` wraps; the word filter and
+    lower-casing are the same expressions `Token` applies.  This is the
+    offline-build hot path, where character offsets are never needed.
+    """
+    next(_counter)
+    return [match.lower() for match in _TOKEN_RE.findall(text) if match[:1].isalpha()]
+
+
 def _is_abbreviation_boundary(text: str, boundary_start: int) -> bool:
     """True if the sentence split at *boundary_start* follows an abbreviation."""
     prefix = text[:boundary_start].rstrip()

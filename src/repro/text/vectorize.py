@@ -35,6 +35,10 @@ class DocumentFrequencyTable:
     def __init__(self, total_documents: int = 0):
         self._doc_freq: Counter = Counter()
         self.total_documents = int(total_documents)
+        # idf memo tables; every mutation invalidates them (the values
+        # depend on total_documents, so any add changes every entry).
+        self._idf_cache: Dict[str, float] = {}
+        self._raw_idf_cache: Dict[str, float] = {}
 
     def __len__(self) -> int:
         return len(self._doc_freq)
@@ -50,16 +54,25 @@ class DocumentFrequencyTable:
         """Register one document's distinct terms."""
         self._doc_freq.update(set(terms))
         self.total_documents += 1
+        if self._idf_cache:
+            self._idf_cache.clear()
+        if self._raw_idf_cache:
+            self._raw_idf_cache.clear()
 
     def idf(self, term: str) -> float:
         """Smoothed inverse document frequency; positive for any term.
 
         The +1 floor keeps every term's weight non-zero, which the term
         vector of the concept-vector baseline wants (common words are
-        then handled by the punish/prune thresholds).
+        then handled by the punish/prune thresholds).  Memoized per
+        term; the cache is dropped whenever a document is added.
         """
-        df = self._doc_freq.get(term, 0)
-        return math.log((1.0 + self.total_documents) / (1.0 + df)) + 1.0
+        cached = self._idf_cache.get(term)
+        if cached is None:
+            df = self._doc_freq.get(term, 0)
+            cached = math.log((1.0 + self.total_documents) / (1.0 + df)) + 1.0
+            self._idf_cache[term] = cached
+        return cached
 
     def raw_idf(self, term: str) -> float:
         """Classic un-floored idf: log((1+N)/(1+df)).
@@ -67,9 +80,25 @@ class DocumentFrequencyTable:
         Terms occurring in nearly every document get ~0 weight — the
         behaviour the relevant-keyword miner needs so that ubiquitous
         background words cannot accumulate mass for junk concepts.
+        Memoized like :meth:`idf`.
         """
-        df = self._doc_freq.get(term, 0)
-        return math.log((1.0 + self.total_documents) / (1.0 + df))
+        cached = self._raw_idf_cache.get(term)
+        if cached is None:
+            df = self._doc_freq.get(term, 0)
+            cached = math.log((1.0 + self.total_documents) / (1.0 + df))
+            self._raw_idf_cache[term] = cached
+        return cached
+
+    @classmethod
+    def from_counts(
+        cls, doc_freq: Mapping[str, int], total_documents: int
+    ) -> "DocumentFrequencyTable":
+        """Wrap precomputed document-frequency counts (offline builder)."""
+        table = cls(total_documents)
+        table._doc_freq = Counter(
+            {term: int(count) for term, count in doc_freq.items() if count}
+        )
+        return table
 
     def tf_idf(self, counts: Mapping[str, int]) -> Dict[str, float]:
         """Raw (un-normalized) tf*idf scores for a term-count mapping."""

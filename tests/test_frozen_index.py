@@ -1,0 +1,186 @@
+"""CSR frozen index: construction equivalence, phrase edges, immutability."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.search.engine import SearchEngine
+from repro.search.frozen import FrozenInvertedIndex
+from repro.search.index import InvertedIndex
+
+VOCAB = [
+    "cuba", "fidel", "castro", "talks", "election", "embargo",
+    "weather", "storm", "go", "havana", "summit", "policy",
+]
+
+
+def random_docs(seed=11, count=40, low=5, high=60):
+    rng = random.Random(seed)
+    docs = []
+    for doc_id in range(1, count + 1):
+        tokens = [rng.choice(VOCAB) for __ in range(rng.randint(low, high))]
+        docs.append((doc_id, tokens))
+    return docs
+
+
+def build_pair(docs):
+    index = InvertedIndex()
+    for doc_id, tokens in docs:
+        index.add_document(doc_id, tokens)
+    return index, FrozenInvertedIndex.from_index(index)
+
+
+class TestConstruction:
+    def test_from_token_streams_matches_from_index(self):
+        docs = random_docs()
+        index, frozen = build_pair(docs)
+        vocabulary = {}
+        terms = []
+        id_arrays = []
+        for __, tokens in docs:
+            for token in tokens:
+                if token not in vocabulary:
+                    vocabulary[token] = len(terms)
+                    terms.append(token)
+            id_arrays.append(
+                np.asarray([vocabulary[token] for token in tokens], dtype=np.int32)
+            )
+        streamed = FrozenInvertedIndex.from_token_streams(
+            [doc_id for doc_id, __ in docs], id_arrays, terms
+        )
+        assert streamed.terms == frozen.terms
+        for name in (
+            "term_offsets",
+            "posting_docs",
+            "position_offsets",
+            "positions",
+            "doc_ids",
+            "doc_lengths",
+        ):
+            assert np.array_equal(getattr(streamed, name), getattr(frozen, name)), name
+
+    def test_empty_corpus(self):
+        streamed = FrozenInvertedIndex.from_token_streams([], [], [])
+        assert streamed.document_count == 0
+        assert streamed.phrase_postings(["cuba"]) == {}
+
+
+class TestDictEquivalence:
+    def test_statistics_match(self):
+        index, frozen = build_pair(random_docs())
+        assert frozen.document_count == index.document_count
+        assert frozen.average_document_length == index.average_document_length
+        assert frozen.doc_items() == index.doc_items()
+        for term in VOCAB + ["unseen"]:
+            assert (term in frozen) == (term in index)
+            assert frozen.document_frequency(term) == index.document_frequency(term)
+            assert frozen.postings(term) == {
+                doc: list(positions) for doc, positions in index.postings(term).items()
+            }
+            for doc_id, __ in index.doc_items():
+                assert frozen.term_frequency(term, doc_id) == index.term_frequency(
+                    term, doc_id
+                )
+
+    def test_phrase_postings_match(self):
+        rng = random.Random(3)
+        index, frozen = build_pair(random_docs())
+        for __ in range(60):
+            phrase = [rng.choice(VOCAB) for __ in range(rng.randint(1, 3))]
+            assert frozen.phrase_postings(phrase) == index.phrase_postings(phrase)
+            assert frozen.phrase_document_count(phrase) == index.phrase_document_count(
+                phrase
+            )
+
+    def test_engine_results_match(self):
+        docs = random_docs(seed=5)
+        staged = SearchEngine()
+        frozen = SearchEngine()
+        for doc_id, tokens in docs:
+            text = " ".join(tokens)
+            staged.add_document(doc_id, text)
+            frozen.add_document(doc_id, text)
+        frozen.freeze()
+        rng = random.Random(7)
+        for __ in range(40):
+            query = " ".join(rng.choice(VOCAB) for __ in range(rng.randint(1, 3)))
+            assert staged.search(query, limit=10) == frozen.search(query, limit=10)
+            assert staged.phrase_search(query, limit=10) == frozen.phrase_search(
+                query, limit=10
+            )
+            assert staged.result_count(query) == frozen.result_count(query)
+            assert staged.phrase_result_count(query) == frozen.phrase_result_count(
+                query
+            )
+
+
+class TestPhraseEdgeCases:
+    """Satellite: the tricky phrase_postings inputs, on both impls."""
+
+    def docs(self):
+        return [
+            (1, ["go", "go", "go", "talks"]),
+            (2, ["cuba", "talks", "cuba", "talks"]),
+            (3, ["talks", "cuba"]),
+        ]
+
+    def both(self):
+        index, frozen = build_pair(self.docs())
+        return index, frozen
+
+    def test_empty_phrase(self):
+        for impl in self.both():
+            assert impl.phrase_postings([]) == {}
+            assert impl.phrase_document_count([]) == 0
+
+    def test_unseen_term_short_circuits(self):
+        for impl in self.both():
+            assert impl.phrase_postings(["cuba", "unseen"]) == {}
+
+    def test_adjacent_duplicate_terms(self):
+        # "go go" occurs at positions 0 and 1 of doc 1 (overlapping)
+        for impl in self.both():
+            assert impl.phrase_postings(["go", "go"]) == {1: 2}
+            assert impl.phrase_postings(["go", "go", "go"]) == {1: 1}
+
+    def test_order_matters(self):
+        for impl in self.both():
+            assert impl.phrase_postings(["cuba", "talks"]) == {2: 2}
+            assert impl.phrase_postings(["talks", "cuba"]) == {2: 1, 3: 1}
+
+    def test_rarest_term_first_intersection(self):
+        # "cuba" is rarer than "talks": the intersection starts from it
+        # regardless of phrase order, and results stay position-exact.
+        index, frozen = build_pair(self.docs())
+        assert index.document_frequency("cuba") < index.document_frequency("talks")
+        assert frozen.phrase_postings(["talks", "cuba"]) == index.phrase_postings(
+            ["talks", "cuba"]
+        )
+
+
+class TestImmutability:
+    def test_postings_view_rejects_writes(self):
+        """Satellite: postings() can no longer corrupt the index."""
+        index, frozen = build_pair(random_docs())
+        view = index.postings("cuba")
+        with pytest.raises(TypeError):
+            view[999] = [0]
+        missing = index.postings("unseen")
+        with pytest.raises(TypeError):
+            missing[999] = [0]
+        assert 999 not in index.postings("cuba")
+        assert index.postings("unseen") == {}
+
+    def test_frozen_engine_rejects_adds(self):
+        engine = SearchEngine()
+        engine.add_document(1, "cuba talks")
+        engine.freeze()
+        with pytest.raises(RuntimeError):
+            engine.add_document(2, "more text")
+
+    def test_freeze_is_idempotent(self):
+        engine = SearchEngine()
+        engine.add_document(1, "cuba talks")
+        first = engine.freeze()
+        assert engine.freeze() is first

@@ -99,6 +99,16 @@ class TestStandardScaler:
         with pytest.raises(RuntimeError):
             StandardScaler().transform(np.zeros((2, 2)))
 
+    def test_transform_does_not_mutate_input(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        original = X.copy()
+        scaler = StandardScaler().fit(X)
+        scaled = scaler.transform(X)
+        assert np.array_equal(X, original)
+        assert scaled is not X
+        assert np.array_equal(scaled, (original - scaler.mean_) / scaler.scale_)
+
 
 class TestRandomFourierFeatures:
     def test_shape(self):

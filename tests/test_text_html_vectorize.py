@@ -110,6 +110,35 @@ class TestDocumentFrequencyTable:
         assert table.total_documents == 2
         assert table.document_frequency("a") == 2
 
+    def test_idf_memoized_value_is_stable(self):
+        table = self.build()
+        first = table.idf("cuba")
+        assert table.idf("cuba") == first  # cached hit, same value
+        assert table.raw_idf("cuba") == table.raw_idf("cuba")
+
+    def test_idf_cache_invalidated_by_add_document(self):
+        table = self.build()
+        before = table.idf("cuba")
+        before_raw = table.raw_idf("cuba")
+        table.add_document(["cuba"])
+        fresh = DocumentFrequencyTable.from_documents(
+            [["cuba", "talks"], ["cuba", "election"], ["weather"], ["cuba"]]
+        )
+        assert table.idf("cuba") == fresh.idf("cuba")
+        assert table.raw_idf("cuba") == fresh.raw_idf("cuba")
+        assert table.idf("cuba") != before
+        assert table.raw_idf("cuba") != before_raw
+
+    def test_from_counts_matches_incremental(self):
+        table = self.build()
+        rebuilt = DocumentFrequencyTable.from_counts(
+            {"cuba": 2, "talks": 1, "election": 1, "weather": 1},
+            table.total_documents,
+        )
+        for term in ["cuba", "talks", "weather", "unseen"]:
+            assert rebuilt.idf(term) == table.idf(term)
+            assert rebuilt.raw_idf(term) == table.raw_idf(term)
+
 
 class TestTermVector:
     def test_normalized_max_is_one(self):
