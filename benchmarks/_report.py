@@ -40,6 +40,22 @@ def persist_sections() -> Dict[str, List[str]]:
     return merged
 
 
+def attach_metrics(snapshot: Dict, registry=None) -> Dict:
+    """Insert the observability registry snapshot as a ``metrics`` block.
+
+    Called by the benchmark writers just before dumping their
+    ``BENCH_*.json`` so every snapshot carries the counters/histograms
+    the run produced.  Only adds the one new key — existing keys are
+    never touched (``check_equivalence.py`` keeps reading its flags).
+    """
+    from repro.obs import get_registry
+
+    if registry is None:
+        registry = get_registry()
+    snapshot["metrics"] = registry.snapshot()
+    return snapshot
+
+
 def render(sections: Dict[str, List[str]]) -> str:
     blocks = []
     for title, lines in sections.items():

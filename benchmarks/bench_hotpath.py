@@ -32,7 +32,7 @@ for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
 
 import numpy as np
 
-from _report import record_section
+from _report import attach_metrics, record_section
 from repro.corpus import WorldConfig, SyntheticWorld
 from repro.detection import (
     ConceptDetector,
@@ -248,7 +248,7 @@ def test_hotpath_single_pass():
     snapshot = run_hotpath_benchmark()
     check_snapshot(snapshot)
     with open(SNAPSHOT_PATH, "w") as handle:
-        json.dump(snapshot, handle, indent=1)
+        json.dump(attach_metrics(snapshot), handle, indent=1)
         handle.write("\n")
     record_section("Hot path — single-pass vs seed multi-pass", report_lines(snapshot))
 
@@ -259,7 +259,7 @@ def main(argv):
     check_snapshot(snapshot)
     if "--smoke" not in argv:  # the snapshot tracks the full-size run only
         with open(SNAPSHOT_PATH, "w") as handle:
-            json.dump(snapshot, handle, indent=1)
+            json.dump(attach_metrics(snapshot), handle, indent=1)
             handle.write("\n")
     print("\n".join(report_lines(snapshot)))
     print("hot-path benchmark OK")

@@ -36,7 +36,7 @@ for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
     if path not in sys.path:  # allow `python benchmarks/bench_offline.py`
         sys.path.insert(0, path)
 
-from _report import record_section
+from _report import attach_metrics, record_section
 from repro.features.relevance import (
     RESOURCES,
     RelevantKeywordMiner,
@@ -292,7 +292,7 @@ def test_offline_build():
     snapshot = run_offline_benchmark()
     check_snapshot(snapshot)
     with open(SNAPSHOT_PATH, "w") as handle:
-        json.dump(snapshot, handle, indent=1)
+        json.dump(attach_metrics(snapshot), handle, indent=1)
         handle.write("\n")
     record_section("Offline build — vectorized pipeline vs seed path", report_lines(snapshot))
 
@@ -306,7 +306,7 @@ def main(argv):
         check_snapshot(snapshot)
     if "--smoke" not in argv:  # the snapshot tracks the full-size run only
         with open(SNAPSHOT_PATH, "w") as handle:
-            json.dump(snapshot, handle, indent=1)
+            json.dump(attach_metrics(snapshot), handle, indent=1)
             handle.write("\n")
     print("\n".join(report_lines(snapshot)))
     print("offline benchmark OK")

@@ -37,7 +37,7 @@ for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
 
 import numpy as np
 
-from _report import record_section
+from _report import attach_metrics, record_section
 from repro.features import RelevanceModel
 from repro.features.quantize import dequantize
 from repro.runtime import (
@@ -262,7 +262,7 @@ def test_store_columnar():
     snapshot = run_store_benchmark()
     check_snapshot(snapshot)
     with open(SNAPSHOT_PATH, "w") as handle:
-        json.dump(snapshot, handle, indent=1)
+        json.dump(attach_metrics(snapshot), handle, indent=1)
         handle.write("\n")
     record_section("Serving store — columnar arena vs seed loop", report_lines(snapshot))
 
@@ -273,7 +273,7 @@ def main(argv):
     check_snapshot(snapshot)
     if "--smoke" not in argv:  # the snapshot tracks the full-size run only
         with open(SNAPSHOT_PATH, "w") as handle:
-            json.dump(snapshot, handle, indent=1)
+            json.dump(attach_metrics(snapshot), handle, indent=1)
             handle.write("\n")
     print("\n".join(report_lines(snapshot)))
     print("store benchmark OK")

@@ -22,6 +22,7 @@ DEFAULT_SNAPSHOTS = (
     os.path.join(_HERE, "BENCH_hotpath.json"),
     os.path.join(_HERE, "BENCH_store.json"),
     os.path.join(_HERE, "BENCH_offline.json"),
+    os.path.join(_HERE, "BENCH_obs.json"),
 )
 
 # snapshot basename -> dotted paths of the boolean flags it must carry
@@ -43,6 +44,10 @@ REQUIRED_FLAGS = {
         "equivalence.parallel_mining_matches_serial",
         "equivalence.vectorized_units_match_seed",
         "equivalence.vectorized_miner_matches_seed",
+    ),
+    "BENCH_obs.json": (
+        "equivalence.identical_with_observability",
+        "equivalence.overhead_within_bar",
     ),
 }
 

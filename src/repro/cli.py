@@ -11,16 +11,23 @@ Commands:
   the detectable concepts of an arbitrary text file;
 * ``build-pack <out>`` — run the parallel vectorized offline builder
   (corpus -> index -> units -> interestingness -> relevance -> quantize
-  -> pack) and write the v2 serving datapacks with per-stage timings.
+  -> pack) and write the v2 serving datapacks with per-stage timings;
+* ``stats`` — run a sample serving workload and print the observability
+  registry (Prometheus text or JSON snapshot).
+
+``rank``, ``build-pack``, and ``stats`` accept ``--trace-out PATH`` to
+write sampled request/build traces as JSON lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.corpus import WorldConfig
+from repro.obs import JsonLinesTraceSink, configure, get_registry, get_tracer
 from repro.eval import (
     Environment,
     EnvironmentConfig,
@@ -63,6 +70,20 @@ _QUICK_WORLD = WorldConfig(
     concept_count=120,
     topic_page_count=80,
 )
+
+
+def _configure_observability(args: argparse.Namespace):
+    """Install a fresh registry/tracer per the command's flags.
+
+    Must run before any instrumented object is constructed — stores and
+    services bind their metric handles at construction time.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    sample_every = getattr(args, "sample_every", None)
+    if sample_every is None:
+        sample_every = 1 if trace_out else 0
+    sink = JsonLinesTraceSink(trace_out) if trace_out else None
+    return configure(enabled=True, sample_every=sample_every, sink=sink)
 
 
 def _build_env(world: WorldConfig, quiet: bool = False) -> Environment:
@@ -171,12 +192,20 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"cannot read {args.file}: {error}", file=sys.stderr)
         return 1
+    __, tracer = _configure_observability(args)
     env = _build_env(_DEMO_WORLD)
     dataset = collect_dataset(env, args.stories)
     experiment = RankingExperiment(env, dataset)
     ranker = train_combined_ranker(env, experiment)
-    annotated = env.pipeline.process(text, is_html=args.html)
-    ranked = ranker.rank_document(annotated)
+    with tracer.trace("rank") as trace:
+        with tracer.span("detect"):
+            annotated = env.pipeline.process(text, is_html=args.html)
+        with tracer.span("rank"):
+            ranked = ranker.rank_document(annotated)
+        if trace.sampled:
+            trace.meta.update(
+                {"bytes": len(text), "detections": len(ranked)}
+            )
     if not ranked:
         print("no detectable concepts in the input "
               "(the demo world only knows its own synthetic inventory)")
@@ -192,6 +221,7 @@ def _cmd_build_pack(args: argparse.Namespace) -> int:
     from repro.offline.builder import BuildConfig, OfflineBuilder
     from repro.querylog.generator import query_log_for_world
 
+    _configure_observability(args)
     world_config = _QUICK_WORLD if args.quick else _EXPERIMENT_WORLD
     print("building synthetic world ...", flush=True)
     world = SyntheticWorld.build(world_config)
@@ -227,6 +257,60 @@ def _cmd_build_pack(args: argparse.Namespace) -> int:
     )
     for name, path in report.pack_paths.items():
         print(f"  {name}: {path} (sha256 {report.pack_sha256[name][:12]}...)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a sample serving workload and print the metrics registry."""
+    import numpy as np
+
+    from repro.ranking import RankSVM
+    from repro.runtime import (
+        PackedRelevanceStore,
+        QuantizedInterestingnessStore,
+        RankerService,
+    )
+
+    __, tracer = _configure_observability(args)
+    env = _build_env(_QUICK_WORLD, quiet=args.format == "json")
+    quiet = args.format == "json"
+    phrases = [concept.phrase for concept in env.world.concepts]
+    if not quiet:
+        print("building quantized stores + service ...", flush=True)
+    interestingness = QuantizedInterestingnessStore.build(env.extractor, phrases)
+    relevance = PackedRelevanceStore.build(
+        env.relevance_model(phrases[: args.relevance_phrases])
+    )
+    feature_dim = env.extractor.extract(phrases[0]).numeric(()).size + 1
+    svm = RankSVM(epochs=30)
+    rng = np.random.default_rng(0)
+    sample = rng.normal(size=(40, feature_dim))
+    svm.fit(sample, sample[:, 0], np.repeat(np.arange(8), 5))
+    service = RankerService(env.pipeline, interestingness, relevance, svm)
+
+    documents = [story.text for story in env.stories(args.docs, seed=args.seed)]
+    if not quiet:
+        print(f"ranking {len(documents)} documents ...", flush=True)
+    service.process_batch(documents, top=5, workers=args.workers)
+
+    if args.format == "json":
+        print(json.dumps(get_registry().snapshot(), indent=2, sort_keys=True))
+    else:
+        print()
+        sys.stdout.write(get_registry().render_prometheus())
+    recent = get_tracer().recent
+    if recent and not quiet:
+        last = recent[-1]
+        print(
+            f"\nlast sampled trace ({last['kind']}, "
+            f"{last['duration'] * 1e3:.2f} ms):"
+        )
+        for span in last.get("spans", []):
+            print(f"  {span['name']:<12s} {span['duration'] * 1e3:8.3f} ms")
+            for child in span.get("children", []):
+                print(
+                    f"    {child['name']:<10s} {child['duration'] * 1e3:8.3f} ms"
+                )
     return 0
 
 
@@ -272,6 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--html", action="store_true")
     rank.add_argument("--top", type=int, default=10)
     rank.add_argument("--stories", type=int, default=150)
+    rank.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write sampled traces as JSON lines to PATH",
+    )
     rank.set_defaults(handler=_cmd_rank)
 
     build_pack = commands.add_parser(
@@ -293,7 +381,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed-path", action="store_true",
         help="run the seed-style serial dict pipeline (equivalence baseline)",
     )
+    build_pack.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the sampled build trace as JSON lines to PATH",
+    )
     build_pack.set_defaults(handler=_cmd_build_pack)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a sample serving workload and print the metrics registry",
+    )
+    stats.add_argument("--docs", type=int, default=25,
+                       help="documents to rank in the sample workload")
+    stats.add_argument("--seed", type=int, default=777)
+    stats.add_argument("--workers", type=int, default=2,
+                       help="batch workers (exercises the chunk metrics)")
+    stats.add_argument("--relevance-phrases", type=int, default=40,
+                       help="concepts to mine relevant keywords for")
+    stats.add_argument(
+        "--sample-every", type=int, default=1, metavar="N",
+        help="keep every N-th request's full trace (0 disables)",
+    )
+    stats.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="Prometheus text (default) or the JSON snapshot",
+    )
+    stats.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write sampled traces as JSON lines to PATH",
+    )
+    stats.set_defaults(handler=_cmd_stats)
     return parser
 
 

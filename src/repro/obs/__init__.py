@@ -1,0 +1,122 @@
+"""Runtime observability: metrics registry, stage spans, trace sinks.
+
+The package keeps one process-wide default pair — a
+:class:`MetricsRegistry` (enabled) and a :class:`Tracer` (histograms
+on, trace retention off) — that the instrumented layers pick up when
+no explicit registry/tracer is handed to them:
+
+* the serving layer (:class:`~repro.runtime.framework.RankerService`,
+  the relevance/interestingness stores, :class:`MappedPack`),
+* the search engine (query counters by kind),
+* the offline builder (per-stage spans).
+
+``configure(...)`` swaps in a fresh pair — call it **before**
+constructing services or stores, because instrumented objects fetch
+their metric handles at construction (that is what keeps the hot path
+to ~one array increment per event).  ``python -m repro stats`` renders
+the default registry after a sample workload; ``--trace-out`` on the
+CLI verbs wires a :class:`JsonLinesTraceSink` into the default tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+)
+from repro.obs.trace import (
+    NULL_TRACE,
+    JsonLinesTraceSink,
+    Span,
+    Trace,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesTraceSink",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "Span",
+    "Trace",
+    "Tracer",
+    "configure",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+]
+
+_STATE_LOCK = threading.Lock()
+_registry = MetricsRegistry(enabled=True)
+_tracer = Tracer(registry=_registry, sample_every=0)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the default; returns the previous one."""
+    global _registry
+    with _STATE_LOCK:
+        previous, _registry = _registry, registry
+    return previous
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the default; returns the previous one."""
+    global _tracer
+    with _STATE_LOCK:
+        previous, _tracer = _tracer, tracer
+    return previous
+
+
+def configure(
+    enabled: bool = True,
+    sample_every: Optional[int] = 0,
+    sink=None,
+    keep_last: int = 8,
+) -> Tuple[MetricsRegistry, Tracer]:
+    """Replace the default registry/tracer pair with a fresh one.
+
+    *enabled* turns the metrics surface on/off (off hands out no-op
+    metrics); *sample_every* keeps every N-th request's full trace
+    (0 disables retention; histograms still record when enabled);
+    *sink* receives sampled traces (e.g. a JsonLinesTraceSink).
+    Returns the new (registry, tracer) pair.  Construct services and
+    stores *after* calling this.
+    """
+    registry = MetricsRegistry(enabled=enabled)
+    tracer = Tracer(
+        registry=registry,
+        sample_every=sample_every,
+        sink=sink,
+        keep_last=keep_last,
+    )
+    set_registry(registry)
+    set_tracer(tracer)
+    return registry, tracer

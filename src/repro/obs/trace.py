@@ -1,0 +1,365 @@
+"""Stage spans and request traces with optional 1-in-N sampling.
+
+A :class:`Trace` is one request's (or one offline build's) tree of
+nested :class:`Span` timings, clocked with ``time.perf_counter`` (a
+monotonic clock — wall-clock adjustments never corrupt durations; the
+single ``time.time`` stamp on the trace itself is presentation only).
+
+The :class:`Tracer` is the cheap front door the instrumented code
+talks to:
+
+* ``tracer.start(kind)`` / ``tracer.finish(trace)`` — bracket one
+  request.  Sampling happens at ``start``: with ``sample_every=N``
+  only every N-th request gets a real :class:`Trace`; the rest get the
+  shared :data:`NULL_TRACE` whose methods are no-ops, so the unsampled
+  hot path pays one counter increment and nothing else.
+* ``tracer.trace(kind)`` — context-manager form of the same, which
+  also makes the trace *current* for the thread so that…
+* ``tracer.span(stage)`` — a context manager **and** decorator that
+  times a stage, records the duration into the registry histogram
+  ``span_seconds{stage=...}`` (always, sampled or not — histograms are
+  the cheap aggregate view), and attaches a span to the thread's
+  current trace when one is being kept.
+
+Finished sampled traces go to the *sink* (``JsonLinesTraceSink`` for
+``--trace-out``) and into a small ``recent`` ring buffer for ad-hoc
+inspection (``python -m repro stats``).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "JsonLinesTraceSink",
+    "NULL_TRACE",
+    "Span",
+    "Trace",
+    "Tracer",
+]
+
+
+class Span:
+    """One timed stage inside a trace (children are sub-stages)."""
+
+    __slots__ = ("name", "start", "duration", "children")
+
+    def __init__(self, name: str, start: float):
+        self.name = name
+        self.start = start  # perf_counter seconds, relative clock
+        self.duration = 0.0
+        self.children: List["Span"] = []
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _TraceSpanContext:
+    """``with trace.span(name):`` — nested span bracketing."""
+
+    __slots__ = ("_trace", "_name", "_span")
+
+    def __init__(self, trace: "Trace", name: str):
+        self._trace = trace
+        self._name = name
+
+    def __enter__(self) -> Span:
+        self._span = self._trace._open_span(self._name)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._trace._close_span(self._span)
+
+
+class Trace:
+    """One sampled request: a kind, a span tree, and free-form meta."""
+
+    sampled = True
+    __slots__ = ("kind", "timestamp", "started", "duration", "meta",
+                 "spans", "_stack")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.timestamp = time.time()  # wall-clock stamp for the sink only
+        self.started = time.perf_counter()
+        self.duration = 0.0
+        self.meta: Dict[str, object] = {}
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str) -> _TraceSpanContext:
+        """Open a nested span as a context manager."""
+        return _TraceSpanContext(self, name)
+
+    def record(self, name: str, start: float, end: float) -> Span:
+        """Attach an already-measured stage (the zero-extra-clock path).
+
+        *start*/*end* are ``perf_counter`` readings the caller already
+        took for its own accounting; recording reuses them instead of
+        sampling the clock again.
+        """
+        span = Span(name, start - self.started)
+        span.duration = end - start
+        self._attach(span)
+        return span
+
+    def record_duration(self, name: str, start: float, seconds: float) -> Span:
+        """Attach a stage known only by (start, duration)."""
+        return self.record(name, start, start + seconds)
+
+    def _attach(self, span: Span) -> None:
+        parent = self._stack[-1].children if self._stack else self.spans
+        parent.append(span)
+
+    def _open_span(self, name: str) -> Span:
+        span = Span(name, time.perf_counter() - self.started)
+        self._attach(span)
+        self._stack.append(span)
+        return span
+
+    def _close_span(self, span: Span) -> None:
+        span.duration = (time.perf_counter() - self.started) - span.start
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def finish(self) -> None:
+        self.duration = time.perf_counter() - self.started
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "timestamp": round(self.timestamp, 6),
+            "duration": round(self.duration, 9),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _NullTrace:
+    """Shared stand-in for unsampled requests; every method no-ops."""
+
+    sampled = False
+    meta: Dict[str, object] = {}
+
+    def span(self, name: str) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def record(self, name: str, start: float, end: float) -> None:
+        return None
+
+    def record_duration(self, name: str, start: float, seconds: float) -> None:
+        return None
+
+    def finish(self) -> None:
+        pass
+
+    def to_dict(self) -> None:
+        return None
+
+
+NULL_TRACE = _NullTrace()
+
+
+class JsonLinesTraceSink:
+    """Appends one JSON object per finished trace to a file."""
+
+    def __init__(self, path):
+        self._path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonLinesTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _TracerSpan:
+    """``tracer.span(stage)`` — context manager and decorator."""
+
+    __slots__ = ("_tracer", "_stage", "_started", "_span", "_context")
+
+    def __init__(self, tracer: "Tracer", stage: str):
+        self._tracer = tracer
+        self._stage = stage
+
+    def __enter__(self) -> Span:
+        trace = self._tracer.current()
+        self._context = trace.span(self._stage)
+        self._span = self._context.__enter__()
+        self._started = time.perf_counter()
+        if self._span is None:  # unsampled: still time for the histogram
+            self._span = Span(self._stage, 0.0)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        seconds = time.perf_counter() - self._started
+        self._context.__exit__(*exc_info)
+        if not self._span.duration:
+            self._span.duration = seconds
+        self._tracer._observe_stage(self._stage, seconds)
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _TracerSpan(self._tracer, self._stage):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class Tracer:
+    """Sampling front door: per-request traces + always-on histograms.
+
+    *sample_every*: keep the full span tree of every N-th ``start``;
+    0/None disables trace retention entirely (stage histograms still
+    record).  *sink* receives finished sampled traces as dicts;
+    *keep_last* bounds the in-memory ring of recent traces.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sample_every: Optional[int] = 1,
+        sink=None,
+        keep_last: int = 8,
+    ):
+        self._registry = registry if registry is not None else MetricsRegistry(
+            enabled=False
+        )
+        self.sample_every = int(sample_every or 0)
+        self.sink = sink
+        self.recent: List[Dict[str, object]] = []
+        self._keep_last = max(0, int(keep_last))
+        self._requests = itertools.count()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._m_requests = self._registry.counter(
+            "trace_requests_total", help="requests seen by the tracer"
+        )
+        self._m_sampled = self._registry.counter(
+            "trace_sampled_total", help="requests that kept a full trace"
+        )
+        self._stage_histograms: Dict[str, object] = {}
+
+    # -- sampling ----------------------------------------------------------
+
+    def start(self, kind: str):
+        """A :class:`Trace` for every N-th request, NULL_TRACE otherwise."""
+        self._m_requests.inc()
+        if self.sample_every <= 0:
+            return NULL_TRACE
+        if next(self._requests) % self.sample_every:
+            return NULL_TRACE
+        self._m_sampled.inc()
+        return Trace(kind)
+
+    def finish(self, trace) -> None:
+        """Close a trace from :meth:`start`; ship it if it was sampled."""
+        if not trace.sampled:
+            return
+        trace.finish()
+        record = trace.to_dict()
+        if self._keep_last:
+            with self._lock:
+                self.recent.append(record)
+                del self.recent[: -self._keep_last]
+        if self.sink is not None:
+            self.sink.write(record)
+
+    # -- ambient trace (context-manager form) ------------------------------
+
+    def _stack(self) -> List:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self):
+        """The thread's innermost active trace (NULL_TRACE if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else NULL_TRACE
+
+    def trace(self, kind: str):
+        """``with tracer.trace(kind) as t:`` — start/finish + ambient."""
+        return _TracerTraceContext(self, kind)
+
+    def span(self, stage: str) -> _TracerSpan:
+        """Time a stage: histogram always, span when a trace is kept."""
+        return _TracerSpan(self, stage)
+
+    def _observe_stage(self, stage: str, seconds: float) -> None:
+        histogram = self._stage_histograms.get(stage)
+        if histogram is None:
+            histogram = self._registry.histogram(
+                "span_seconds",
+                help="tracer span durations by stage",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                stage=stage,
+            )
+            self._stage_histograms[stage] = histogram
+        histogram.observe(seconds)
+
+
+class _TracerTraceContext:
+    __slots__ = ("_tracer", "_kind", "_trace")
+
+    def __init__(self, tracer: Tracer, kind: str):
+        self._tracer = tracer
+        self._kind = kind
+
+    def __enter__(self):
+        self._trace = self._tracer.start(self._kind)
+        self._tracer._stack().append(self._trace)
+        return self._trace
+
+    def __exit__(self, *exc_info) -> None:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._trace:
+            stack.pop()
+        self._tracer.finish(self._trace)

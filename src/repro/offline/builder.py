@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.corpus.dictionaries import EditorialDictionary
 from repro.corpus.wikipedia import WikipediaStore
+from repro.obs import Tracer, get_tracer
 from repro.features.interestingness import InterestingnessExtractor
 from repro.features.relevance import (
     RESOURCE_SNIPPETS,
@@ -156,25 +157,36 @@ class BuildReport:
 
 
 class _StageClock:
-    """Collects :class:`StageStats` around pipeline sections."""
+    """Collects :class:`StageStats` around pipeline sections.
 
-    def __init__(self):
+    Each stage runs inside a tracer span, so the timing that lands in
+    the :class:`BuildReport` is the very same measurement that feeds the
+    ``span_seconds{stage=...}`` histograms and the sampled build trace —
+    the ad-hoc timing dict and the observability surface cannot drift
+    apart.
+    """
+
+    def __init__(self, tracer: Tracer):
         self.stages: List[StageStats] = []
+        self._tracer = tracer
 
     def run(self, name: str, items: int, unit: str, thunk):
-        started = time.perf_counter()
-        result = thunk()
-        self.stages.append(
-            StageStats(name, time.perf_counter() - started, items, unit)
-        )
+        with self._tracer.span(name) as span:
+            result = thunk()
+        self.stages.append(StageStats(name, span.duration, items, unit))
         return result
 
 
 class OfflineBuilder:
     """Runs the offline stage DAG and writes the serving datapacks."""
 
-    def __init__(self, config: Optional[BuildConfig] = None):
+    def __init__(
+        self,
+        config: Optional[BuildConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.config = config or BuildConfig()
+        self._tracer = tracer if tracer is not None else get_tracer()
 
     def build(
         self,
@@ -198,7 +210,25 @@ class OfflineBuilder:
         wikipedia = wikipedia if wikipedia is not None else WikipediaStore({})
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
-        clock = _StageClock()
+        with self._tracer.trace("build-pack") as build_trace:
+            report = self._run_stages(
+                config, docs, query_log, phrases, out, dictionary, wikipedia
+            )
+            if build_trace.sampled:
+                build_trace.meta.update(
+                    {
+                        "mode": report.mode,
+                        "workers": report.workers,
+                        "documents": report.document_count,
+                        "concepts": report.concept_count,
+                    }
+                )
+        return report
+
+    def _run_stages(
+        self, config, docs, query_log, phrases, out, dictionary, wikipedia
+    ) -> BuildReport:
+        clock = _StageClock(self._tracer)
 
         if config.fast:
             corpus, stemmed_df = clock.run(

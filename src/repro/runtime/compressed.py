@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.features.quantize import quantize
 from repro.features.relevance import RelevanceModel, stemmed_terms
+from repro.obs import DEFAULT_SIZE_BUCKETS, MetricsRegistry, get_registry
 from repro.text.tokenized import DocumentLike
 from repro.runtime.arena import as_tid_context, sorted_membership
 from repro.runtime.golomb import (
@@ -89,8 +90,44 @@ class CompressedRelevanceStore:
             OrderedDict()
         )
         self._cache_size = int(cache_size)
-        self.cache_hits = 0
-        self.cache_misses = 0
+        # Per-store exact counters (a private registry keeps cache_info
+        # and the cache_hits/cache_misses attributes store-local, as the
+        # tests assert) mirrored into the process-wide aggregates.
+        local = MetricsRegistry()
+        self._m_hits = local.counter("decode_cache_hits")
+        self._m_misses = local.counter("decode_cache_misses")
+        self._m_evictions = local.counter("decode_cache_evictions")
+        registry = get_registry()
+        self._g_hits = registry.counter(
+            "relevance_decode_cache_hits_total",
+            help="decode-cache hits across compressed stores",
+        )
+        self._g_misses = registry.counter(
+            "relevance_decode_cache_misses_total",
+            help="decode-cache misses (cold decodes) across compressed stores",
+        )
+        self._g_evictions = registry.counter(
+            "relevance_decode_cache_evictions_total",
+            help="decode-cache LRU evictions across compressed stores",
+        )
+        self._g_batch = registry.histogram(
+            "relevance_score_many_phrases",
+            help="phrases per compressed score_many call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+            store="compressed",
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def cache_evictions(self) -> int:
+        return int(self._m_evictions.value)
 
     @property
     def tid_table(self) -> GlobalTidTable:
@@ -134,13 +171,15 @@ class CompressedRelevanceStore:
         """(sorted TID array, dequantized score array) for one concept."""
         cached = self._cache.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._m_hits.inc()
+            self._g_hits.inc()
             self._cache.move_to_end(key)
             return cached
         entry = self._entries.get(key)
         if entry is None:
             return None
-        self.cache_misses += 1
+        self._m_misses.inc()
+        self._g_misses.inc()
         tids = golomb_decode_array(entry.tid_payload, entry.count, entry.golomb_m)
         codes = unpack_fixed_width(entry.score_payload, entry.count, SCORE_BITS)
         values = codes.astype(np.float64) / MAX_SCORE_CODE * self.score_max
@@ -149,13 +188,23 @@ class CompressedRelevanceStore:
             self._cache[key] = decoded
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
+                self._m_evictions.inc()
+                self._g_evictions.inc()
         return decoded
 
     def cache_info(self) -> Dict[str, int]:
-        """Decode-cache counters (instrumentation for benchmarks/tests)."""
+        """Decode-cache counters.
+
+        Deprecated shim: the counts now live in observability counters
+        (``relevance_decode_cache_*_total`` in the process registry, and
+        the per-store ``cache_hits``/``cache_misses``/``cache_evictions``
+        properties this dict delegates to).  Kept for older benchmarks
+        and dashboards; prefer ``repro.obs.get_registry().snapshot()``.
+        """
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
             "size": len(self._cache),
             "capacity": self._cache_size,
         }
@@ -186,6 +235,7 @@ class CompressedRelevanceStore:
 
     def score_many(self, phrases: Sequence[str], context) -> np.ndarray:
         """Per-phrase scores for one shared context (cache-amortized)."""
+        self._g_batch.observe(len(phrases))
         out = np.zeros(len(phrases))
         ctx = as_tid_context(context)
         if ctx is None:

@@ -23,10 +23,13 @@ from __future__ import annotations
 import json
 import mmap
 import struct
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
+
+from repro.obs import get_registry
 
 from repro.ranking.ranksvm import (
     RandomFourierFeatures,
@@ -121,6 +124,7 @@ class MappedPack:
     """
 
     def __init__(self, path: PathLike):
+        started = time.perf_counter()
         self._file = open(path, "rb")
         try:
             self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
@@ -133,6 +137,24 @@ class MappedPack:
         except Exception:
             self.close()
             raise
+        # Cold-start telemetry: open+index time, mapped bytes, and the
+        # size of every section (the paper's 400 MB / 18 MB accounting).
+        registry = get_registry()
+        registry.counter(
+            "pack_opens_total", help="data-packs opened via mmap"
+        ).inc()
+        registry.histogram(
+            "pack_open_seconds", help="mmap open + section index time"
+        ).observe(time.perf_counter() - started)
+        registry.counter(
+            "pack_bytes_mapped_total", help="bytes mapped across opened packs"
+        ).inc(len(self._view))
+        for name, (__, length) in self._spans.items():
+            registry.counter(
+                "pack_section_bytes_total",
+                help="section payload bytes across opened packs",
+                section=name,
+            ).inc(length)
 
     def names(self) -> List[str]:
         return list(self._spans)

@@ -15,17 +15,35 @@ ranker's relevance context, the detectors and the concept-vector scorer
 walk the same token stream.  ``process_batch`` optionally fans a batch
 out over worker threads, preserving input order and merging the
 per-worker timing stats.
+
+Observability: every processed document feeds the service's
+:class:`~repro.obs.MetricsRegistry` (per-stage latency histograms,
+document/byte/detection counters, detections-per-document, and — in
+batch mode — worker chunk queue/run timings), and the service's
+:class:`~repro.obs.Tracer` keeps the full nested span tree
+(stemmer → detect → rank[features]) for 1-in-N sampled requests.  The
+legacy :class:`TimingStats` surface is now a thin view over the same
+registry machinery; ranked output is byte-identical with observability
+enabled or disabled (``benchmarks/bench_obs.py`` enforces < 3%
+throughput overhead).
 """
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, fields
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.detection.base import Detection
 from repro.detection.pipeline import AnnotatedDocument, ShortcutsPipeline
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from repro.ranking.model import ConceptRanker, FeatureAssembler
 from repro.ranking.ranksvm import RankSVM
 from repro.runtime.compressed import CompressedRelevanceStore
@@ -35,8 +53,9 @@ from repro.text.tokenized import TokenizedDocument
 
 RelevanceStore = Union[PackedRelevanceStore, CompressedRelevanceStore]
 
+_STAGES = ("stemmer", "detect", "features", "rank")
 
-@dataclass
+
 class TimingStats:
     """Accumulated component timings over processed documents.
 
@@ -44,20 +63,85 @@ class TimingStats:
     reported components (the ranker covers everything after stemming);
     ``detection_seconds`` and ``feature_seconds`` break the ranker
     component down into its detection and feature-lookup stages.
+
+    The public API is unchanged from the original dataclass (keyword
+    construction, attribute reads/writes, ``merge``, the ``*_mb_per_second``
+    rates), but the fields now live as counters in a
+    :class:`~repro.obs.MetricsRegistry` — by default a private one per
+    instance, so snapshots taken before a reset keep their values.
+    Pass *registry* to aggregate several views in one place.
     """
 
-    stemmer_seconds: float = 0.0
-    ranker_seconds: float = 0.0
-    detection_seconds: float = 0.0
-    feature_seconds: float = 0.0
-    bytes_processed: int = 0
-    documents: int = 0
-    detections: int = 0
+    _FLOAT_FIELDS = (
+        "stemmer_seconds",
+        "ranker_seconds",
+        "detection_seconds",
+        "feature_seconds",
+    )
+    _INT_FIELDS = ("bytes_processed", "documents", "detections")
+    FIELDS = _FLOAT_FIELDS + _INT_FIELDS
+
+    __slots__ = ("_counters",)
+
+    def __init__(
+        self,
+        stemmer_seconds: float = 0.0,
+        ranker_seconds: float = 0.0,
+        detection_seconds: float = 0.0,
+        feature_seconds: float = 0.0,
+        bytes_processed: int = 0,
+        documents: int = 0,
+        detections: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if registry is None or not registry.enabled:
+            registry = MetricsRegistry()
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                name: registry.counter(
+                    f"timing_{name}_total",
+                    help=f"legacy TimingStats field {name}",
+                )
+                for name in self.FIELDS
+            },
+        )
+        initial = {
+            "stemmer_seconds": stemmer_seconds,
+            "ranker_seconds": ranker_seconds,
+            "detection_seconds": detection_seconds,
+            "feature_seconds": feature_seconds,
+            "bytes_processed": bytes_processed,
+            "documents": documents,
+            "detections": detections,
+        }
+        for name, value in initial.items():
+            if value:
+                self._counters[name].inc(value)
+
+    def _get(self, name: str) -> float:
+        return self._counters[name].value
+
+    def _set(self, name: str, value: float) -> None:
+        self._counters[name]._set_total(value)
 
     def _rate(self, seconds: float) -> float:
-        if seconds <= 0.0:
+        """MB/s over the accumulated byte count; 0.0 before any work.
+
+        Guards every division edge: zero/negative/non-finite seconds
+        and a zero byte count all report 0.0 rather than raising or
+        propagating inf/NaN (e.g. rates read before any document, or
+        after merging only zero-byte stats objects).
+        """
+        bytes_processed = self.bytes_processed
+        if (
+            seconds <= 0.0
+            or not math.isfinite(seconds)
+            or bytes_processed <= 0
+        ):
             return 0.0
-        return self.bytes_processed / seconds / 1e6
+        return bytes_processed / seconds / 1e6
 
     @property
     def stemmer_mb_per_second(self) -> float:
@@ -77,15 +161,58 @@ class TimingStats:
 
     @property
     def detections_per_document(self) -> float:
-        return self.detections / self.documents if self.documents else 0.0
+        documents = self.documents
+        return self.detections / documents if documents else 0.0
 
     def merge(self, other: "TimingStats") -> "TimingStats":
-        """Accumulate *other* into this stats object (returns self)."""
-        for spec in fields(self):
-            setattr(
-                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
-            )
+        """Accumulate *other* into this stats object (returns self).
+
+        Accepts any object exposing the seven field attributes; absent
+        or falsy fields (a zero-byte stats object) merge as 0.0.
+        """
+        for name in self.FIELDS:
+            value = getattr(other, name, 0) or 0
+            if value:
+                self._counters[name].inc(float(value))
         return self
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TimingStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self.FIELDS
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.FIELDS)
+        return f"TimingStats({body})"
+
+
+def _timing_field(name: str, is_int: bool) -> property:
+    if is_int:
+
+        def fget(self):
+            return int(self._get(name))
+
+    else:
+
+        def fget(self):
+            return self._get(name)
+
+    def fset(self, value):
+        self._set(name, float(value))
+
+    return property(fget, fset)
+
+
+for _name in TimingStats._FLOAT_FIELDS:
+    setattr(TimingStats, _name, _timing_field(_name, is_int=False))
+for _name in TimingStats._INT_FIELDS:
+    setattr(TimingStats, _name, _timing_field(_name, is_int=True))
+del _name
 
 
 class RankerService:
@@ -97,6 +224,13 @@ class RankerService:
     relevance arena — exactly as the production framework requires.
     A document's candidates are scored with one batched ``score_many``
     arena pass instead of per-phrase dict lookups.
+
+    *registry*/*tracer* default to the process-wide pair from
+    :mod:`repro.obs`; pass explicit ones to isolate a service's
+    telemetry (tests do).  Registry counters are cumulative for the
+    life of the service — ``reset_stats`` only resets the legacy
+    :class:`TimingStats` view, matching its original snapshot
+    semantics.
     """
 
     def __init__(
@@ -106,6 +240,8 @@ class RankerService:
         relevance_store: Optional[RelevanceStore],
         model: RankSVM,
         exclude_groups: Tuple[str, ...] = (),
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._pipeline = pipeline
         assembler = FeatureAssembler(
@@ -115,9 +251,70 @@ class RankerService:
         )
         self._store = interestingness_store
         self._ranker = ConceptRanker(assembler, model)
+        self._registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        reg = self._registry
+        self._m_stage = {
+            stage: reg.histogram(
+                "rank_stage_seconds",
+                help="per-document stage latency",
+                stage=stage,
+            )
+            for stage in _STAGES
+        }
+        self._m_stage_totals = {
+            stage: reg.counter(
+                "rank_stage_seconds_total",
+                help="cumulative seconds by stage",
+                stage=stage,
+            )
+            for stage in _STAGES
+        }
+        self._m_documents = reg.counter(
+            "rank_documents_total", help="documents processed"
+        )
+        self._m_bytes = reg.counter(
+            "rank_bytes_total", help="utf-8 bytes processed"
+        )
+        self._m_detections = reg.counter(
+            "rank_detections_total", help="ranked detections emitted"
+        )
+        self._m_detections_per_doc = reg.histogram(
+            "rank_detections_per_document",
+            help="ranked detections per document",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_chunk_queue = reg.histogram(
+            "rank_batch_chunk_queue_seconds",
+            help="batch chunk time from submit to worker start",
+        )
+        self._m_chunk_run = reg.histogram(
+            "rank_batch_chunk_run_seconds",
+            help="batch chunk time on the worker",
+        )
+        self._m_chunks = reg.counter(
+            "rank_batch_chunks_total", help="batch chunks dispatched"
+        )
+        self._m_batch_size = reg.histogram(
+            "rank_batch_documents",
+            help="documents per process_batch call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_workers = reg.gauge(
+            "rank_batch_workers", help="workers used by the last batch"
+        )
         self.stats = TimingStats()
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
     def reset_stats(self) -> None:
+        """Fresh legacy stats view (registry counters stay cumulative)."""
         self.stats = TimingStats()
 
     def process(self, text: str, top: Optional[int] = None) -> List[Detection]:
@@ -128,6 +325,7 @@ class RankerService:
         self, text: str, top: Optional[int], stats: TimingStats
     ) -> List[Detection]:
         """One document through the single-pass path, timed into *stats*."""
+        trace = self._tracer.start("process")
         started = time.perf_counter()
         document = TokenizedDocument(text)
         # The Stemmer component's pass: tokenize once, stem once.  The
@@ -150,13 +348,51 @@ class RankerService:
             ranked = ranked[:top]
         rank_done = time.perf_counter()
 
-        stats.stemmer_seconds += stem_done - started
+        stem_seconds = stem_done - started
+        detect_seconds = detect_done - stem_done
+        rank_seconds = rank_done - detect_done
+        document_bytes = len(text.encode("utf-8"))
+
+        stats.stemmer_seconds += stem_seconds
         stats.ranker_seconds += rank_done - stem_done
-        stats.detection_seconds += detect_done - stem_done
+        stats.detection_seconds += detect_seconds
         stats.feature_seconds += feature_seconds
-        stats.bytes_processed += len(text.encode("utf-8"))
+        stats.bytes_processed += document_bytes
         stats.documents += 1
         stats.detections += len(ranked)
+
+        self._m_stage["stemmer"].observe(stem_seconds)
+        self._m_stage["detect"].observe(detect_seconds)
+        self._m_stage["features"].observe(feature_seconds)
+        self._m_stage["rank"].observe(rank_seconds)
+        self._m_stage_totals["stemmer"].inc(stem_seconds)
+        self._m_stage_totals["detect"].inc(detect_seconds)
+        self._m_stage_totals["features"].inc(feature_seconds)
+        self._m_stage_totals["rank"].inc(rank_seconds)
+        self._m_documents.inc()
+        self._m_bytes.inc(document_bytes)
+        self._m_detections.inc(len(ranked))
+        self._m_detections_per_doc.observe(len(ranked))
+
+        if trace.sampled:
+            # Reuse the clock readings already taken above — the trace
+            # costs no extra perf_counter calls on the hot path.
+            trace.record("stemmer", started, stem_done)
+            trace.record("detect", stem_done, detect_done)
+            rank_span = trace.record("rank", detect_done, rank_done)
+            feature_span = trace.record_duration(
+                "features", detect_done, feature_seconds
+            )
+            rank_span.children.append(feature_span)
+            trace.spans.remove(feature_span)
+            trace.meta.update(
+                {
+                    "bytes": document_bytes,
+                    "detections": len(ranked),
+                    "top": top,
+                }
+            )
+        self._tracer.finish(trace)
         return ranked
 
     def process_batch(
@@ -171,19 +407,29 @@ class RankerService:
         processed on a thread pool; results come back in input order and
         every worker's :class:`TimingStats` is merged into
         ``self.stats``, so the aggregate counters match sequential mode.
+        Chunk queue time (submit → worker pickup) and run time feed the
+        batch histograms.
         """
+        self._m_batch_size.observe(len(documents))
         if workers is None or workers <= 1 or len(documents) <= 1:
+            self._m_workers.set(1)
             return [self.process(text, top=top) for text in documents]
         worker_count = min(workers, len(documents))
+        self._m_workers.set(worker_count)
         chunk_size = -(-len(documents) // worker_count)  # ceil division
         chunks = [
             documents[offset : offset + chunk_size]
             for offset in range(0, len(documents), chunk_size)
         ]
+        submitted = time.perf_counter()
 
         def run_chunk(chunk: Sequence[str]) -> Tuple[List[List[Detection]], TimingStats]:
+            picked_up = time.perf_counter()
             stats = TimingStats()
             results = [self._process(text, top, stats) for text in chunk]
+            self._m_chunk_queue.observe(picked_up - submitted)
+            self._m_chunk_run.observe(time.perf_counter() - picked_up)
+            self._m_chunks.inc()
             return results, stats
 
         ranked: List[List[Detection]] = []

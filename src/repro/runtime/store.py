@@ -26,6 +26,7 @@ from repro.features.interestingness import (
     InterestingnessVector,
 )
 from repro.features.quantize import dequantize, quantize
+from repro.obs import get_registry
 
 FIELD_BITS = 16
 _NUMERIC_FIELDS = (
@@ -53,6 +54,10 @@ class QuantizedInterestingnessStore:
         self._matrix = np.zeros((0, FIELD_COUNT), dtype=np.uint16)
         self._staged: Dict[str, np.ndarray] = {}
         self._backing = None  # keeps a mapped data-pack alive
+        self._m_lookups = get_registry().counter(
+            "interestingness_lookups_total",
+            help="quantized interestingness vector lookups",
+        )
 
     def __len__(self) -> int:
         return len(self._index) + sum(
@@ -99,6 +104,7 @@ class QuantizedInterestingnessStore:
 
     def extract(self, phrase: str) -> InterestingnessVector:
         """Dequantized feature vector (the live-extractor protocol)."""
+        self._m_lookups.inc()
         key = phrase.lower()
         row = self._staged.get(key)
         if row is None:

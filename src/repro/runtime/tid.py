@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.features.relevance import RelevanceModel, stemmed_terms
+from repro.obs import DEFAULT_SIZE_BUCKETS, get_registry
 from repro.text.tokenized import DocumentLike
 from repro.runtime.arena import (
     MAX_SCORE_CODE,
@@ -170,6 +171,18 @@ class PackedRelevanceStore:
         self._staged: Dict[str, np.ndarray] = {}
         self._arena: Optional[PhraseArena] = None
         self._backing = None  # keeps a mapped data-pack alive
+        registry = get_registry()
+        self._m_lookups = registry.counter(
+            "relevance_lookups_total",
+            help="single-phrase relevance lookups",
+            store="packed",
+        )
+        self._m_batch = registry.histogram(
+            "relevance_score_many_phrases",
+            help="phrases per packed score_many call",
+            buckets=DEFAULT_SIZE_BUCKETS,
+            store="packed",
+        )
 
     @property
     def tid_table(self) -> GlobalTidTable:
@@ -267,6 +280,7 @@ class PackedRelevanceStore:
 
     def score(self, phrase: str, context) -> float:
         """Summed dequantized scores of the concept's TIDs in context."""
+        self._m_lookups.inc()
         ctx = as_tid_context(context)
         if ctx is None:
             return 0.0
@@ -291,6 +305,7 @@ class PackedRelevanceStore:
         accumulated left-to-right per phrase, so each result is
         identical to :meth:`score`.
         """
+        self._m_batch.observe(len(phrases))
         totals = [0.0] * len(phrases)
         ctx = as_tid_context(context)
         if ctx is None or not len(phrases):

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.search.frozen import FrozenInvertedIndex
 from repro.search.index import InvertedIndex
 from repro.text.tokenizer import tokenize_lower
@@ -52,6 +53,15 @@ class SearchEngine:
         self._tokens: Dict[int, List[str]] = {}
         self._frozen: Optional[FrozenInvertedIndex] = None
         self._length_norm: Optional[np.ndarray] = None
+        registry = get_registry()
+        self._m_queries = {
+            kind: registry.counter(
+                "search_queries_total",
+                help="search engine queries by kind",
+                kind=kind,
+            )
+            for kind in ("free", "phrase", "count", "phrase_count")
+        }
 
     @property
     def index(self):
@@ -175,6 +185,7 @@ class SearchEngine:
 
     def search(self, query: str, limit: int = 10) -> List[SearchResult]:
         """Free-text BM25 search."""
+        self._m_queries["free"].inc()
         terms = tokenize_lower(query)
         if not terms:
             return []
@@ -191,6 +202,7 @@ class SearchEngine:
 
     def phrase_search(self, phrase: str, limit: int = 10) -> List[SearchResult]:
         """Exact-phrase search, scored by phrase frequency * idf."""
+        self._m_queries["phrase"].inc()
         terms = tokenize_lower(phrase)
         if not terms:
             return []
@@ -209,6 +221,7 @@ class SearchEngine:
 
     def phrase_result_count(self, phrase: str) -> int:
         """Feature 4: total number of pages matching the phrase query."""
+        self._m_queries["phrase_count"].inc()
         terms = tokenize_lower(phrase)
         if not terms:
             return 0
@@ -216,6 +229,7 @@ class SearchEngine:
 
     def result_count(self, query: str) -> int:
         """Total number of pages matching the free query (any term)."""
+        self._m_queries["count"].inc()
         terms = tokenize_lower(query)
         if self._frozen is not None:
             frozen = self._frozen

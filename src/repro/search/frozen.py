@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.search.index import InvertedIndex
 
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
@@ -53,6 +54,7 @@ class FrozenInvertedIndex:
         "_doc_rows",
         "_average_length",
         "_stride",
+        "_m_phrase",
     )
 
     def __init__(
@@ -84,6 +86,10 @@ class FrozenInvertedIndex:
         )
         # Phrase-key stride: strictly larger than any token position.
         self._stride = int(self.doc_lengths.max()) + 1 if count else 1
+        self._m_phrase = get_registry().counter(
+            "index_phrase_intersections_total",
+            help="phrase-occurrence intersections on the frozen index",
+        )
 
     # -- document statistics (dict-index API parity) ---------------------
 
@@ -178,6 +184,7 @@ class FrozenInvertedIndex:
         position of the earliest exact occurrence — exactly the anchor
         :func:`repro.search.snippets.make_snippet` would find.
         """
+        self._m_phrase.inc()
         empty = (_EMPTY_I64, _EMPTY_I64, _EMPTY_I64)
         if not terms:
             return empty

@@ -1,0 +1,573 @@
+"""Observability layer: registry exactness, tracing, and the wiring.
+
+Covers the new ``repro.obs`` package (counters/gauges/histograms with
+per-thread shards, span tracing with 1-in-N sampling, exposition) and
+the instrumentation contracts the runtime now depends on: the legacy
+``TimingStats`` API riding on registry counters, the compressed store's
+``cache_info`` shim matching the old LRU accounting exactly, and the
+service/builder span surfaces.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.features import RelevanceModel
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    JsonLinesTraceSink,
+    MetricsRegistry,
+    NullCounter,
+    NullHistogram,
+    Tracer,
+    configure,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracer,
+)
+from repro.ranking import RankSVM
+from repro.runtime import (
+    CompressedRelevanceStore,
+    PackedRelevanceStore,
+    QuantizedInterestingnessStore,
+    RankerService,
+    TimingStats,
+)
+
+
+class TestRegistry:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", help="test events")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        gauge = registry.gauge("workers")
+        gauge.set(4)
+        gauge.add(1)
+        assert gauge.value == 5.0
+
+    def test_same_name_and_labels_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("queries_total", kind="free")
+        b = registry.counter("queries_total", kind="free")
+        c = registry.counter("queries_total", kind="phrase")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError):
+            registry.histogram("thing_total")
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name")
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes", buckets=(1, 10, 100))
+        for value in (0.5, 1, 5, 10, 1000):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == 1016.5
+        # non-cumulative: <=1, <=10, <=100, +Inf
+        assert hist.bucket_counts() == [2, 2, 0, 1]
+        assert hist.cumulative() == [("1", 2), ("10", 4), ("100", 4), ("+Inf", 5)]
+        assert hist.quantile(0.5) == 10
+
+    def test_histogram_rejects_bad_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(1, 1, 2))
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", help="cache hits").inc(7)
+        registry.histogram("batch", buckets=(1, 2)).observe(2)
+        snap = registry.snapshot()
+        assert snap["hits_total"]["type"] == "counter"
+        assert snap["hits_total"]["series"][0]["value"] == 7.0
+        assert snap["batch"]["series"][0]["buckets"][-1] == ["+Inf", 1]
+        json.dumps(snap)  # JSON-ready, no numpy scalars
+
+    def test_render_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", help="by kind", kind="free").inc(3)
+        registry.histogram("lat", buckets=(0.1,), stage="stem").observe(0.05)
+        text = registry.render_prometheus()
+        assert "# HELP repro_queries_total by kind" in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{kind="free"} 3' in text
+        assert 'repro_lat_bucket{stage="stem",le="0.1"} 1' in text
+        assert 'repro_lat_bucket{stage="stem",le="+Inf"} 1' in text
+        assert 'repro_lat_count{stage="stem"} 1' in text
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x_total")
+        hist = registry.histogram("y")
+        assert isinstance(counter, NullCounter)
+        assert isinstance(hist, NullHistogram)
+        counter.inc()
+        hist.observe(1.0)
+        assert registry.snapshot() == {}
+        assert registry.render_prometheus() == ""
+
+    def test_reset_keeps_families(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0.0
+        assert registry.counter("n_total") is counter
+
+
+class TestConcurrency:
+    def test_exact_totals_from_8_threads(self):
+        """No lost updates: per-thread shards make totals exact."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total")
+        hist = registry.histogram("hammer_sizes", buckets=DEFAULT_SIZE_BUCKETS)
+        increments = 10_000
+        threads = 8
+
+        def hammer():
+            for i in range(increments):
+                counter.inc()
+                hist.observe(i % 7)
+
+        pool = [threading.Thread(target=hammer) for __ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == threads * increments
+        assert hist.count == threads * increments
+        expected_sum = threads * sum(i % 7 for i in range(increments))
+        assert hist.sum == expected_sum
+
+    def test_reads_during_writes_never_exceed_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("racing_total")
+        stop = threading.Event()
+        seen = []
+
+        def reader():
+            while not stop.is_set():
+                seen.append(counter.value)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for __ in range(50_000):
+            counter.inc()
+        stop.set()
+        thread.join()
+        assert counter.value == 50_000
+        assert all(0 <= value <= 50_000 for value in seen)
+
+
+class TestTracer:
+    def test_sampling_one_in_n(self):
+        tracer = Tracer(sample_every=3)
+        traces = [tracer.start("req") for __ in range(9)]
+        assert sum(1 for t in traces if t.sampled) == 3
+        for trace in traces:
+            tracer.finish(trace)
+
+    def test_sampling_disabled(self):
+        tracer = Tracer(sample_every=0)
+        assert not any(tracer.start("req").sampled for __ in range(5))
+
+    def test_span_nesting_and_ambient_trace(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, sample_every=1)
+        with tracer.trace("req") as trace:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        assert trace.sampled
+        assert [s.name for s in trace.spans] == ["outer"]
+        assert [s.name for s in trace.spans[0].children] == ["inner"]
+        assert trace.duration > 0
+        # histograms record regardless of nesting
+        snap = registry.snapshot()["span_seconds"]
+        stages = {s["labels"]["stage"] for s in snap["series"]}
+        assert stages == {"outer", "inner"}
+
+    def test_span_histogram_records_when_unsampled(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, sample_every=0)
+        with tracer.span("stage"):
+            pass
+        series = registry.snapshot()["span_seconds"]["series"]
+        assert series[0]["count"] == 1
+
+    def test_span_as_decorator(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, sample_every=0)
+
+        @tracer.span("work")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert registry.snapshot()["span_seconds"]["series"][0]["count"] == 1
+
+    def test_record_reuses_clock_readings(self):
+        tracer = Tracer(sample_every=1)
+        trace = tracer.start("req")
+        trace.record("stage", trace.started + 0.25, trace.started + 0.75)
+        tracer.finish(trace)
+        span = trace.spans[0]
+        assert span.start == pytest.approx(0.25)
+        assert span.duration == pytest.approx(0.5)
+
+    def test_jsonl_sink_and_recent_ring(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonLinesTraceSink(path) as sink:
+            tracer = Tracer(sample_every=1, sink=sink, keep_last=2)
+            for __ in range(3):
+                with tracer.trace("req"):
+                    pass
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        record = json.loads(lines[0])
+        assert record["kind"] == "req"
+        assert len(tracer.recent) == 2  # ring bounded by keep_last
+
+    def test_configure_swaps_globals(self):
+        previous_registry, previous_tracer = get_registry(), get_tracer()
+        try:
+            registry, tracer = configure(enabled=True, sample_every=5)
+            assert get_registry() is registry
+            assert get_tracer() is tracer
+        finally:
+            set_registry(previous_registry)
+            set_tracer(previous_tracer)
+
+
+class TestTimingStats:
+    def test_rate_zero_guards(self):
+        stats = TimingStats()
+        assert stats.stemmer_mb_per_second == 0.0
+        assert stats.ranker_mb_per_second == 0.0
+        assert stats.detections_per_document == 0.0
+        # bytes without seconds (and vice versa) still report 0.0
+        stats.bytes_processed = 1000
+        assert stats.stemmer_mb_per_second == 0.0
+        stats.bytes_processed = 0
+        stats.stemmer_seconds = 1.0
+        assert stats.stemmer_mb_per_second == 0.0
+
+    def test_rate_non_finite_guard(self):
+        stats = TimingStats(bytes_processed=100)
+        assert stats._rate(float("nan")) == 0.0
+        assert stats._rate(float("inf")) == 0.0
+        assert stats._rate(-1.0) == 0.0
+
+    def test_merge_zero_byte_stats_is_safe(self):
+        left = TimingStats(stemmer_seconds=1.0, bytes_processed=2_000_000)
+        merged = left.merge(TimingStats())
+        assert merged is left
+        assert left.stemmer_mb_per_second == 2.0
+
+    def test_keyword_construction_and_fields(self):
+        stats = TimingStats(
+            stemmer_seconds=1.5, documents=2, detections=3, bytes_processed=10
+        )
+        assert stats.stemmer_seconds == 1.5
+        assert stats.documents == 2
+        assert isinstance(stats.documents, int)
+        assert stats.detections_per_document == 1.5
+        assert stats.as_dict()["bytes_processed"] == 10
+
+    def test_merge_accumulates_all_fields(self):
+        left = TimingStats(stemmer_seconds=1.0, documents=2, detections=3)
+        right = TimingStats(
+            stemmer_seconds=0.5, ranker_seconds=2.0, documents=1, detections=4
+        )
+        left.merge(right)
+        assert left.stemmer_seconds == 1.5
+        assert left.ranker_seconds == 2.0
+        assert left.documents == 3
+        assert left.detections == 7
+
+    def test_equality_and_repr(self):
+        a = TimingStats(documents=2)
+        b = TimingStats(documents=2)
+        assert a == b
+        assert a != TimingStats(documents=3)
+        assert "documents=2" in repr(a)
+
+    def test_snapshots_survive_reset(self):
+        """The test_single_pass capture pattern: old views keep values."""
+        first = TimingStats(documents=5)
+        second = TimingStats()  # a reset_stats() replacement
+        second.documents = 1
+        assert first.documents == 5
+
+
+def _reference_lru(capacity, keys):
+    """The seed's LRU accounting, replayed independently."""
+    from collections import OrderedDict
+
+    cache, hits, misses, evictions = OrderedDict(), 0, 0, 0
+    for key in keys:
+        if key in cache:
+            hits += 1
+            cache.move_to_end(key)
+            continue
+        misses += 1
+        if capacity > 0:
+            cache[key] = True
+            if len(cache) > capacity:
+                cache.popitem(last=False)
+                evictions += 1
+    return hits, misses, evictions, len(cache)
+
+
+class TestDecodeCacheCounters:
+    @pytest.fixture()
+    def store(self):
+        model = RelevanceModel(
+            {
+                f"concept {index}": [(f"term{index}a", 1.0), (f"term{index}b", 0.5)]
+                for index in range(6)
+            }
+        )
+        return CompressedRelevanceStore.build(model, cache_size=3)
+
+    def test_cache_info_matches_reference_lru(self, store):
+        """New counters reproduce the old LRU accounting exactly."""
+        phrases = [f"concept {index}" for index in range(6)]
+        pattern = (
+            phrases[:4] + phrases[:2] + phrases[4:] + phrases[:1] + phrases[3:5]
+        )
+        context = {tid for __, tid in store.tid_table.items()}
+        for phrase in pattern:
+            store.score(phrase, context)
+        hits, misses, evictions, size = _reference_lru(
+            3, [p.lower() for p in pattern]
+        )
+        info = store.cache_info()
+        assert info["hits"] == hits
+        assert info["misses"] == misses
+        assert info["evictions"] == evictions
+        assert info["size"] == size
+        assert info["capacity"] == 3
+
+    def test_counters_are_per_store(self, store):
+        other = CompressedRelevanceStore.from_packed(
+            PackedRelevanceStore.build(
+                RelevanceModel({"solo": [("term", 1.0)]})
+            )
+        )
+        context = {tid for __, tid in store.tid_table.items()}
+        store.score("concept 0", context)
+        assert store.cache_misses == 1
+        assert other.cache_misses == 0
+
+    def test_global_aggregate_counters(self, store):
+        previous = set_registry(MetricsRegistry())
+        try:
+            fresh = CompressedRelevanceStore.from_packed(
+                PackedRelevanceStore.build(
+                    RelevanceModel({"solo": [("term", 1.0)]})
+                )
+            )
+            context = {tid for __, tid in fresh.tid_table.items()}
+            fresh.score("solo", context)
+            fresh.score("solo", context)
+            snap = get_registry().snapshot()
+            assert (
+                snap["relevance_decode_cache_misses_total"]["series"][0]["value"]
+                == 1.0
+            )
+            assert (
+                snap["relevance_decode_cache_hits_total"]["series"][0]["value"]
+                == 1.0
+            )
+        finally:
+            set_registry(previous)
+
+
+class TestServiceInstrumentation:
+    @pytest.fixture(scope="class")
+    def setup(self, env_world, env_extractor, env_miner, env_pipeline):
+        phrases = [c.phrase for c in env_world.concepts]
+        interestingness = QuantizedInterestingnessStore.build(
+            env_extractor, phrases
+        )
+        model = RelevanceModel.mine_all(
+            env_miner, [c.phrase for c in env_world.concepts[:30]]
+        )
+        relevance = PackedRelevanceStore.build(model)
+        svm = RankSVM(epochs=30)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 16))
+        svm.fit(X, X[:, 0], np.repeat(np.arange(8), 5))
+        return env_pipeline, interestingness, relevance, svm
+
+    def _service(self, setup, registry, tracer):
+        pipeline, interestingness, relevance, svm = setup
+        return RankerService(
+            pipeline, interestingness, relevance, svm,
+            registry=registry, tracer=tracer,
+        )
+
+    def test_stage_histograms_and_counters(self, setup, env_stories):
+        registry = MetricsRegistry()
+        service = self._service(setup, registry, Tracer(registry=registry))
+        texts = [s.text for s in env_stories[:4]]
+        results = service.process_batch(texts, top=5)
+        snap = registry.snapshot()
+        assert (
+            snap["rank_documents_total"]["series"][0]["value"] == len(texts)
+        )
+        stages = {
+            s["labels"]["stage"]: s["count"]
+            for s in snap["rank_stage_seconds"]["series"]
+        }
+        assert stages == {
+            "stemmer": len(texts), "detect": len(texts),
+            "features": len(texts), "rank": len(texts),
+        }
+        detections = snap["rank_detections_total"]["series"][0]["value"]
+        assert detections == sum(len(r) for r in results)
+        assert detections == service.stats.detections
+        per_doc = snap["rank_detections_per_document"]["series"][0]
+        assert per_doc["count"] == len(texts)
+
+    def test_parallel_batch_chunk_metrics(self, setup, env_stories):
+        registry = MetricsRegistry()
+        service = self._service(setup, registry, Tracer(registry=registry))
+        texts = [s.text for s in env_stories[:6]]
+        service.process_batch(texts, top=5, workers=3)
+        snap = registry.snapshot()
+        assert snap["rank_batch_chunks_total"]["series"][0]["value"] == 3
+        assert snap["rank_batch_chunk_run_seconds"]["series"][0]["count"] == 3
+        assert snap["rank_batch_workers"]["series"][0]["value"] == 3
+        assert snap["rank_documents_total"]["series"][0]["value"] == len(texts)
+
+    def test_trace_spans_match_stage_order(self, setup, env_stories):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, sample_every=1)
+        service = self._service(setup, registry, tracer)
+        service.process(env_stories[0].text, top=3)
+        assert len(tracer.recent) == 1
+        spans = tracer.recent[0]["spans"]
+        assert [s["name"] for s in spans] == ["stemmer", "detect", "rank"]
+        assert [c["name"] for c in spans[2]["children"]] == ["features"]
+
+    def test_output_identical_with_observability_disabled(
+        self, setup, env_stories
+    ):
+        on = self._service(
+            setup, MetricsRegistry(), Tracer(sample_every=1)
+        )
+        off = self._service(
+            setup, MetricsRegistry(enabled=False), Tracer(sample_every=0)
+        )
+        texts = [s.text for s in env_stories[:3]]
+        assert on.process_batch(texts, top=5) == off.process_batch(texts, top=5)
+
+    def test_legacy_stats_view_still_works(self, setup, env_stories):
+        registry = MetricsRegistry()
+        service = self._service(setup, registry, Tracer(registry=registry))
+        service.process(env_stories[0].text)
+        sequential = service.stats
+        service.reset_stats()
+        assert sequential.documents == 1  # captured view survives reset
+        assert service.stats.documents == 0
+        # registry counters are cumulative, not reset
+        snap = registry.snapshot()
+        assert snap["rank_documents_total"]["series"][0]["value"] == 1
+
+
+class TestBuilderSpans:
+    def test_build_records_stage_spans(self, tmp_path, env_world, env_log):
+        from repro.offline.builder import BuildConfig, OfflineBuilder
+
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, sample_every=1)
+        phrases = [c.phrase for c in env_world.concepts[:12]]
+        report = OfflineBuilder(
+            BuildConfig(workers=1), tracer=tracer
+        ).build(env_world.web_corpus, env_log, phrases, tmp_path)
+        stage_names = [stage.name for stage in report.stages]
+        series = registry.snapshot()["span_seconds"]["series"]
+        recorded = {s["labels"]["stage"] for s in series}
+        assert recorded == set(stage_names)
+        # the sampled build trace carries the same stages, in order
+        assert len(tracer.recent) == 1
+        trace = tracer.recent[0]
+        assert trace["kind"] == "build-pack"
+        assert [span["name"] for span in trace["spans"]] == stage_names
+        # StageStats.seconds is the span duration, not a second clock
+        for stage, span in zip(report.stages, trace["spans"]):
+            assert stage.seconds == pytest.approx(span["duration"])
+
+
+class TestPackMetrics:
+    def test_mapped_pack_records_open_metrics(self, tmp_path):
+        from repro.runtime.datapack import (
+            MappedPack,
+            save_relevance_store,
+        )
+
+        store = PackedRelevanceStore.build(
+            RelevanceModel({"alpha beta": [("gamma", 1.0)]})
+        )
+        path = tmp_path / "relevance.rpak"
+        save_relevance_store(store, path)
+        previous = set_registry(MetricsRegistry())
+        try:
+            with MappedPack(path):
+                pass
+            snap = get_registry().snapshot()
+            assert snap["pack_opens_total"]["series"][0]["value"] == 1.0
+            assert snap["pack_open_seconds"]["series"][0]["count"] == 1
+            sections = {
+                s["labels"]["section"]
+                for s in snap["pack_section_bytes_total"]["series"]
+            }
+            assert {"kind", "meta", "pairs"} <= sections
+            assert (
+                snap["pack_bytes_mapped_total"]["series"][0]["value"]
+                == path.stat().st_size
+            )
+        finally:
+            set_registry(previous)
+
+
+class TestSearchCounters:
+    def test_query_counters_by_kind(self):
+        from repro.search import SearchEngine
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            engine = SearchEngine()
+            engine.add_document(1, "alpha beta gamma")
+            engine.add_document(2, "beta gamma delta")
+            engine.search("beta")
+            engine.search("gamma delta")
+            engine.phrase_search("beta gamma")
+            engine.result_count("alpha")
+            engine.phrase_result_count("gamma delta")
+            snap = get_registry().snapshot()
+            kinds = {
+                s["labels"]["kind"]: s["value"]
+                for s in snap["search_queries_total"]["series"]
+            }
+            assert kinds == {
+                "free": 2.0, "phrase": 1.0, "count": 1.0, "phrase_count": 1.0
+            }
+        finally:
+            set_registry(previous)
