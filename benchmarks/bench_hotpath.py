@@ -78,8 +78,13 @@ RELEVANCE_PHRASES = 40
 BATCH_WORKERS = 4
 
 
-def build_service(document_count):
-    """A RankerService over a small deterministic world, plus documents."""
+def build_service(document_count, with_quality=False):
+    """A RankerService over a small deterministic world, plus documents.
+
+    With *with_quality* the service also carries a QualityMonitor and a
+    DriftDetector baselined on the fresh store (both registering into
+    the process-wide registry), matching the ``repro serve`` shape.
+    """
     world = SyntheticWorld.build(HOTPATH_WORLD)
     log = query_log_for_world(world)
     lexicon = UnitMiner().mine(log)
@@ -112,7 +117,20 @@ def build_service(document_count):
     X = rng.normal(size=(40, feature_dim))
     svm.fit(X, X[:, 0], np.repeat(np.arange(8), 5))
 
-    service = RankerService(pipeline, interestingness, relevance, svm)
+    quality = drift = None
+    if with_quality:
+        from repro.obs.quality import (
+            DriftBaseline,
+            DriftDetector,
+            QualityMonitor,
+        )
+
+        quality = QualityMonitor()
+        drift = DriftDetector(DriftBaseline.from_store(interestingness))
+    service = RankerService(
+        pipeline, interestingness, relevance, svm,
+        quality=quality, drift=drift,
+    )
     documents = [
         story.text for story in world.story_generator(seed=4242).generate_many(
             document_count

@@ -47,7 +47,10 @@ REQUIRED_FLAGS = {
     ),
     "BENCH_obs.json": (
         "equivalence.identical_with_observability",
+        "equivalence.identical_with_quality_monitors",
+        "equivalence.explain_order_identical",
         "equivalence.overhead_within_bar",
+        "equivalence.quality_overhead_within_bar",
     ),
 }
 

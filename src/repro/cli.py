@@ -13,10 +13,16 @@ Commands:
   (corpus -> index -> units -> interestingness -> relevance -> quantize
   -> pack) and write the v2 serving datapacks with per-stage timings;
 * ``stats`` — run a sample serving workload and print the observability
-  registry (Prometheus text or JSON snapshot).
+  registry (Prometheus text or JSON snapshot); ``--snapshot FILE`` /
+  ``--url URL`` render metrics captured by another process instead;
+* ``serve`` — start the telemetry HTTP server (``/metrics``,
+  ``/healthz``, ``/readyz``, ``POST /explain``, ``/traces/recent``)
+  over a live ranking service, with CTR/churn quality monitoring and
+  feature-drift detection attached.
 
-``rank``, ``build-pack``, and ``stats`` accept ``--trace-out PATH`` to
-write sampled request/build traces as JSON lines.
+``rank``, ``build-pack``, ``stats``, and ``serve`` accept
+``--trace-out PATH`` to write sampled request/build traces as JSON
+lines (``serve --trace-max-bytes`` adds size-based rotation).
 """
 
 from __future__ import annotations
@@ -24,10 +30,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.corpus import WorldConfig
-from repro.obs import JsonLinesTraceSink, configure, get_registry, get_tracer
+from repro.obs import (
+    JsonLinesTraceSink,
+    configure,
+    get_registry,
+    get_tracer,
+    render_snapshot,
+)
 from repro.eval import (
     Environment,
     EnvironmentConfig,
@@ -82,7 +95,13 @@ def _configure_observability(args: argparse.Namespace):
     sample_every = getattr(args, "sample_every", None)
     if sample_every is None:
         sample_every = 1 if trace_out else 0
-    sink = JsonLinesTraceSink(trace_out) if trace_out else None
+    sink = (
+        JsonLinesTraceSink(
+            trace_out, max_bytes=getattr(args, "trace_max_bytes", None)
+        )
+        if trace_out
+        else None
+    )
     return configure(enabled=True, sample_every=sample_every, sink=sink)
 
 
@@ -260,8 +279,23 @@ def _cmd_build_pack(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    """Run a sample serving workload and print the metrics registry."""
+def _build_quick_service(
+    args: argparse.Namespace,
+    quiet: bool,
+    pack_dir: Optional[str] = None,
+    with_quality: bool = False,
+):
+    """Quick world + stores + demo model -> a ready RankerService.
+
+    Stores either come from a built datapack directory (*pack_dir*,
+    with the drift baseline read from its manifest) or are built
+    in-process (baseline taken straight from the fresh store).  With
+    *with_quality* the service carries a
+    :class:`~repro.obs.quality.QualityMonitor` and — when a baseline is
+    available — a :class:`~repro.obs.quality.DriftDetector`.
+
+    Returns ``(service, quality, drift, env)``.
+    """
     import numpy as np
 
     from repro.ranking import RankSVM
@@ -271,23 +305,88 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         RankerService,
     )
 
-    __, tracer = _configure_observability(args)
-    env = _build_env(_QUICK_WORLD, quiet=args.format == "json")
-    quiet = args.format == "json"
-    phrases = [concept.phrase for concept in env.world.concepts]
-    if not quiet:
-        print("building quantized stores + service ...", flush=True)
-    interestingness = QuantizedInterestingnessStore.build(env.extractor, phrases)
-    relevance = PackedRelevanceStore.build(
-        env.relevance_model(phrases[: args.relevance_phrases])
-    )
-    feature_dim = env.extractor.extract(phrases[0]).numeric(()).size + 1
+    env = _build_env(_QUICK_WORLD, quiet=quiet)
+    baseline = None
+    if pack_dir is not None:
+        from repro.obs.quality import load_baseline
+        from repro.runtime.datapack import (
+            load_interestingness_store,
+            load_relevance_store,
+        )
+
+        if not quiet:
+            print(f"loading datapacks from {pack_dir} ...", flush=True)
+        pack = Path(pack_dir)
+        interestingness = load_interestingness_store(
+            str(pack / "interestingness.rpak")
+        )
+        relevance = load_relevance_store(str(pack / "relevance.rpak"))
+        baseline = load_baseline(pack_dir)
+        if baseline is None and not quiet:
+            print(
+                "  (manifest has no feature_baselines section — "
+                "drift detection disabled)",
+                flush=True,
+            )
+    else:
+        phrases = [concept.phrase for concept in env.world.concepts]
+        if not quiet:
+            print("building quantized stores + service ...", flush=True)
+        interestingness = QuantizedInterestingnessStore.build(
+            env.extractor, phrases
+        )
+        relevance = PackedRelevanceStore.build(
+            env.relevance_model(phrases[: args.relevance_phrases])
+        )
+        if with_quality:
+            from repro.obs.quality import DriftBaseline
+
+            baseline = DriftBaseline.from_store(interestingness)
+
+    sample_phrase = interestingness.phrases()[0]
+    feature_dim = interestingness.extract(sample_phrase).numeric(()).size + 1
     svm = RankSVM(epochs=30)
     rng = np.random.default_rng(0)
     sample = rng.normal(size=(40, feature_dim))
     svm.fit(sample, sample[:, 0], np.repeat(np.arange(8), 5))
-    service = RankerService(env.pipeline, interestingness, relevance, svm)
 
+    quality = drift = None
+    if with_quality:
+        from repro.clicks.online import OnlineCtrTracker
+        from repro.obs.quality import DriftDetector, QualityMonitor
+
+        quality = QualityMonitor(tracker=OnlineCtrTracker())
+        if baseline is not None:
+            drift = DriftDetector(baseline)
+    service = RankerService(
+        env.pipeline, interestingness, relevance, svm,
+        quality=quality, drift=drift,
+    )
+    return service, quality, drift, env
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Print a metrics registry: this process's, a snapshot's, or a URL's."""
+    if args.snapshot and args.url:
+        print("--snapshot and --url are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.snapshot:
+        payload = json.loads(Path(args.snapshot).read_text())
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(render_snapshot(payload))
+        return 0
+    if args.url:
+        from urllib.request import urlopen
+
+        with urlopen(args.url, timeout=10) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+
+    quiet = args.format == "json"
+    __, tracer = _configure_observability(args)
+    service, __q, __d, env = _build_quick_service(args, quiet)
     documents = [story.text for story in env.stories(args.docs, seed=args.seed)]
     if not quiet:
         print(f"ranking {len(documents)} documents ...", flush=True)
@@ -311,6 +410,41 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 print(
                     f"    {child['name']:<10s} {child['duration'] * 1e3:8.3f} ms"
                 )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the telemetry HTTP server over a live ranking service."""
+    from repro.obs.server import TelemetryServer
+
+    registry, tracer = _configure_observability(args)
+    service, quality, drift, __ = _build_quick_service(
+        args, quiet=False, pack_dir=args.pack, with_quality=True
+    )
+    server = TelemetryServer(
+        service=service,
+        registry=registry,
+        tracer=tracer,
+        drift=drift,
+        quality=quality,
+        host=args.host,
+        port=args.port,
+        default_top=args.top,
+    )
+    if args.port_file:
+        Path(args.port_file).write_text(f"{server.port}\n")
+    print(f"serving telemetry on {server.url}", flush=True)
+    print(
+        "endpoints: GET /metrics /healthz /readyz /traces/recent, "
+        "POST /explain",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", flush=True)
+    finally:
+        server.stop()
     return 0
 
 
@@ -390,6 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser(
         "stats",
         help="run a sample serving workload and print the metrics registry",
+        description=(
+            "By default this runs a sample workload in THIS process and "
+            "prints this process's own registry — it cannot see another "
+            "process's metrics.  To inspect a running server, pass "
+            "--url http://HOST:PORT/metrics; to render a snapshot file "
+            "written elsewhere (registry.snapshot() as JSON), pass "
+            "--snapshot FILE."
+        ),
+    )
+    stats.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="render a JSON registry snapshot file instead of running "
+             "a workload",
+    )
+    stats.add_argument(
+        "--url", default=None, metavar="URL",
+        help="fetch and print a live /metrics endpoint instead of "
+             "running a workload",
     )
     stats.add_argument("--docs", type=int, default=25,
                        help="documents to rank in the sample workload")
@@ -411,6 +563,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="write sampled traces as JSON lines to PATH",
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve /metrics, /healthz, /readyz, /explain, /traces/recent",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 binds an ephemeral port; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH (for --port 0 callers)",
+    )
+    serve.add_argument(
+        "--pack", default=None, metavar="DIR",
+        help="serve stores from a build-pack output directory (its "
+             "manifest's feature_baselines arm the drift detector); "
+             "default builds stores in-process",
+    )
+    serve.add_argument("--relevance-phrases", type=int, default=40,
+                       help="concepts to mine when building in-process")
+    serve.add_argument("--top", type=int, default=10,
+                       help="default result count for /explain")
+    serve.add_argument(
+        "--sample-every", type=int, default=1, metavar="N",
+        help="keep every N-th request's full trace (0 disables)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write sampled traces as JSON lines to PATH",
+    )
+    serve.add_argument(
+        "--trace-max-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the --trace-out file before it exceeds BYTES "
+             "(keeps 3 rotated generations)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -16,6 +16,13 @@ their metric handles at construction (that is what keeps the hot path
 to ~one array increment per event).  ``python -m repro stats`` renders
 the default registry after a sample workload; ``--trace-out`` on the
 CLI verbs wires a :class:`JsonLinesTraceSink` into the default tracer.
+
+The model-quality layer lives in explicit submodules — import
+``repro.obs.explain`` (score decompositions), ``repro.obs.quality``
+(CTR/churn monitors, drift detection), and ``repro.obs.server`` (the
+telemetry HTTP server) directly; re-exporting them here would pull the
+ranking stack into every ``repro.obs`` import and cycle back into the
+instrumented layers.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.obs.registry import (
     NullCounter,
     NullGauge,
     NullHistogram,
+    render_snapshot,
 )
 from repro.obs.trace import (
     NULL_TRACE,
@@ -60,6 +68,7 @@ __all__ = [
     "configure",
     "get_registry",
     "get_tracer",
+    "render_snapshot",
     "set_registry",
     "set_tracer",
 ]

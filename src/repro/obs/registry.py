@@ -42,6 +42,7 @@ __all__ = [
     "NullCounter",
     "NullGauge",
     "NullHistogram",
+    "render_snapshot",
 ]
 
 # Prometheus-style inclusive upper bounds (an implicit +Inf bucket is
@@ -242,7 +243,10 @@ class Histogram:
         running = 0.0
         for index, count in enumerate(counts.tolist()):
             running += count
-            if running >= target:
+            # `running > 0` keeps q=0.0 from answering with an empty
+            # leading bucket's bound — the minimum observed value can
+            # only live in the first *populated* bucket.
+            if running >= target and running > 0:
                 return self.bounds[index] if index < len(self.bounds) else float("inf")
         return float("inf")
 
@@ -402,23 +406,7 @@ class MetricsRegistry:
 
     def render_prometheus(self, prefix: str = "repro_") -> str:
         """The Prometheus text exposition format for every family."""
-        lines: List[str] = []
-        for name, metrics in sorted(self._grouped().items()):
-            full = prefix + name
-            if metrics[0].help:
-                lines.append(f"# HELP {full} {metrics[0].help}")
-            lines.append(f"# TYPE {full} {metrics[0].kind}")
-            for metric in metrics:
-                base = _render_labels(metric.labels)
-                if metric.kind == "histogram":
-                    for le, count in metric.cumulative():
-                        labelset = _render_labels(metric.labels + (("le", le),))
-                        lines.append(f"{full}_bucket{labelset} {count}")
-                    lines.append(f"{full}_sum{base} {_format_value(metric.sum)}")
-                    lines.append(f"{full}_count{base} {metric.count}")
-                else:
-                    lines.append(f"{full}{base} {_format_value(metric.value)}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        return render_snapshot(self.snapshot(), prefix=prefix)
 
     def reset(self) -> None:
         """Zero every registered metric (families stay registered)."""
@@ -426,6 +414,42 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         for metric in metrics:
             metric._reset()
+
+
+def render_snapshot(
+    snapshot: Dict[str, Dict[str, object]], prefix: str = "repro_"
+) -> str:
+    """Prometheus text for a :meth:`MetricsRegistry.snapshot` dict.
+
+    Works on any snapshot-shaped payload, not just a live registry —
+    ``python -m repro stats --snapshot FILE`` and ``--url`` render
+    metrics captured by another process (or fetched over HTTP) through
+    this same path, so the output is identical to what the originating
+    process would have printed.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        full = prefix + name
+        if family.get("help"):
+            lines.append(f"# HELP {full} {family['help']}")
+        lines.append(f"# TYPE {full} {family['type']}")
+        for series in family.get("series", []):
+            items = _label_items(series.get("labels", {}))
+            base = _render_labels(items)
+            if family["type"] == "histogram":
+                for le, count in series.get("buckets", []):
+                    labelset = _render_labels(items + (("le", str(le)),))
+                    lines.append(f"{full}_bucket{labelset} {int(count)}")
+                lines.append(
+                    f"{full}_sum{base} {_format_value(float(series['sum']))}"
+                )
+                lines.append(f"{full}_count{base} {int(series['count'])}")
+            else:
+                lines.append(
+                    f"{full}{base} {_format_value(float(series['value']))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _render_labels(items: LabelItems) -> str:

@@ -1,0 +1,329 @@
+"""Telemetry HTTP server: the network exposition surface.
+
+PR 4 left the registry trapped in-process (``python -m repro stats``
+can only print its *own* registry).  :class:`TelemetryServer` puts the
+observability surfaces on the wire with nothing but the stdlib
+(``http.server.ThreadingHTTPServer`` — one thread per request, which
+the lock-free registry read path handles exactly):
+
+========================  ====================================================
+``GET /metrics``          Prometheus text exposition of the registry
+``GET /healthz``          liveness: 200 once the server loop is up
+``GET /readyz``           readiness: 503 until a service is attached;
+                          body carries the drift-detector state
+``POST /explain``         rank a document with explanations — body is raw
+                          text or ``{"text": ..., "top": N}`` JSON
+``GET /traces/recent``    the tracer's bounded ring of sampled traces
+========================  ====================================================
+
+The server instruments itself into the same registry it exposes:
+``http_requests_total{path,method,status}`` and
+``http_request_seconds{path}`` (paths normalized to the route table so
+label cardinality stays bounded).
+
+Use :meth:`TelemetryServer.start` for a daemon-thread server (tests,
+embedding) or :meth:`serve_forever` to own the main thread
+(``python -m repro serve``).  Port 0 binds an ephemeral port,
+re-readable via :attr:`port`/:attr:`url`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["TelemetryServer", "ROUTES"]
+
+ROUTES = ("/metrics", "/healthz", "/readyz", "/explain", "/traces/recent")
+
+_MAX_EXPLAIN_BYTES = 4 * 1024 * 1024  # refuse absurd request bodies
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    telemetry: "TelemetryServer" = None  # set by TelemetryServer
+
+
+class TelemetryServer:
+    """Serves a registry/tracer (and optionally a ranking service).
+
+    *service* is a :class:`~repro.runtime.framework.RankerService` (or
+    anything with ``process(text, top=..., explain=True)``); without
+    one the server still exposes ``/metrics``, ``/healthz``, and
+    ``/traces/recent`` but reports not-ready and refuses ``/explain``
+    with 503.  *drift* and *quality* ride along for ``/readyz``.
+    """
+
+    def __init__(
+        self,
+        service=None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        drift=None,
+        quality=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_top: int = 10,
+    ):
+        if registry is None or tracer is None:
+            from repro.obs import get_registry, get_tracer
+
+            registry = registry if registry is not None else get_registry()
+            tracer = tracer if tracer is not None else get_tracer()
+        self.service = service
+        self.drift = drift
+        self.quality = quality
+        self.registry = registry
+        self.tracer = tracer
+        self.default_top = default_top
+        self.started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+        self._m_requests: Dict = {}
+        self._m_seconds: Dict = {}
+        self._httpd = _TelemetryHTTPServer((host, port), _TelemetryHandler)
+        self._httpd.telemetry = self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` / interrupt."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request accounting ------------------------------------------------
+
+    def _observe_request(
+        self, route: str, method: str, status: int, seconds: float
+    ) -> None:
+        key = (route, method, status)
+        counter = self._m_requests.get(key)
+        if counter is None:
+            counter = self.registry.counter(
+                "http_requests_total",
+                help="telemetry server requests",
+                path=route,
+                method=method,
+                status=status,
+            )
+            self._m_requests[key] = counter
+        counter.inc()
+        histogram = self._m_seconds.get(route)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "http_request_seconds",
+                help="telemetry server request latency",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                path=route,
+            )
+            self._m_seconds[route] = histogram
+        histogram.observe(seconds)
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def readiness(self) -> Dict[str, object]:
+        ready = self.service is not None
+        body: Dict[str, object] = {
+            "ready": ready,
+            "service_loaded": self.service is not None,
+        }
+        if self.drift is not None:
+            body["drift"] = self.drift.status()
+        if self.quality is not None:
+            body["quality"] = {
+                "ctr_by_position": [
+                    round(self.quality.ctr_at(p), 6)
+                    for p in range(self.quality.positions)
+                ],
+            }
+        return body
+
+    def explain(self, text: str, top: Optional[int]) -> Dict[str, object]:
+        if self.service is None:
+            raise _ServiceUnavailable("no ranking service attached")
+        ranked, explanations = self.service.process(
+            text, top=top if top is not None else self.default_top, explain=True
+        )
+        return {
+            "ranked": [
+                {
+                    "phrase": d.phrase,
+                    "start": d.start,
+                    "end": d.end,
+                    "kind": d.kind,
+                    "score": d.score,
+                }
+                for d in ranked
+            ],
+            "explanations": [e.to_dict() for e in explanations],
+        }
+
+
+class _ServiceUnavailable(RuntimeError):
+    pass
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request metrics replace stderr chatter
+
+    @property
+    def _telemetry(self) -> TelemetryServer:
+        return self.server.telemetry
+
+    def _route(self) -> str:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        return path if path in ROUTES else "other"
+
+    def _observe(self, status: int) -> None:
+        if self._observed:
+            return
+        self._observed = True
+        self._telemetry._observe_request(
+            self._route_name,
+            self._method,
+            status,
+            time.perf_counter() - self._started,
+        )
+
+    def _reply(self, status: int, payload: bytes, content_type: str) -> None:
+        # record the request before the client can see the response, so a
+        # completed request is always visible to the next /metrics scrape
+        self._observe(status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_json(self, status: int, body: Dict) -> None:
+        self._reply(
+            status,
+            (json.dumps(body, sort_keys=True) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _handle(self, method: str) -> None:
+        self._started = time.perf_counter()
+        self._method = method
+        self._route_name = self._route()
+        self._observed = False
+        try:
+            self._dispatch(method, self._route_name)
+        except _ServiceUnavailable as error:
+            self._reply_json(503, {"error": str(error)})
+        except (ValueError, KeyError, TypeError) as error:
+            self._reply_json(400, {"error": str(error)})
+        except BrokenPipeError:  # client went away mid-response
+            self._observe(499)
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply_json(500, {"error": f"internal error: {error}"})
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("POST")
+
+    def _dispatch(self, method: str, route: str) -> int:
+        telemetry = self._telemetry
+        if method == "GET" and route == "/metrics":
+            payload = telemetry.registry.render_prometheus().encode("utf-8")
+            self._reply(
+                200, payload, "text/plain; version=0.0.4; charset=utf-8"
+            )
+            return 200
+        if method == "GET" and route == "/healthz":
+            self._reply_json(200, telemetry.health())
+            return 200
+        if method == "GET" and route == "/readyz":
+            body = telemetry.readiness()
+            status = 200 if body["ready"] else 503
+            self._reply_json(status, body)
+            return status
+        if method == "GET" and route == "/traces/recent":
+            self._reply_json(200, {"traces": list(telemetry.tracer.recent)})
+            return 200
+        if method == "POST" and route == "/explain":
+            text, top = self._explain_request()
+            self._reply_json(200, telemetry.explain(text, top))
+            return 200
+        if route == "/explain" or (
+            method == "POST" and route in ("/metrics", "/healthz", "/readyz",
+                                           "/traces/recent")
+        ):
+            self._reply_json(405, {"error": f"{method} not allowed on {route}"})
+            return 405
+        self._reply_json(404, {"error": f"unknown path {self.path!r}"})
+        return 404
+
+    def _explain_request(self):
+        """(text, top) from an /explain body: JSON object or raw text."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("empty /explain body")
+        if length > _MAX_EXPLAIN_BYTES:
+            raise ValueError("/explain body too large")
+        raw = self.rfile.read(length).decode("utf-8")
+        content_type = (self.headers.get("Content-Type") or "").lower()
+        stripped = raw.lstrip()
+        if "json" in content_type or stripped.startswith("{"):
+            body = json.loads(raw)
+            if not isinstance(body, dict) or "text" not in body:
+                raise ValueError('/explain JSON body needs a "text" field')
+            top = body.get("top")
+            return str(body["text"]), (None if top is None else int(top))
+        return raw, None

@@ -33,6 +33,7 @@ import itertools
 import json
 import threading
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
@@ -190,22 +191,60 @@ NULL_TRACE = _NullTrace()
 
 
 class JsonLinesTraceSink:
-    """Appends one JSON object per finished trace to a file."""
+    """Appends one JSON object per finished trace to a file.
 
-    def __init__(self, path):
+    With *max_bytes* set, the file rotates before a write would push it
+    past the limit: ``path`` moves to ``path.1`` (older generations
+    shift to ``path.2`` … ``path.<keep>``, the oldest is dropped) and a
+    fresh ``path`` is opened.  Long-running servers with trace sampling
+    on can therefore never fill a disk with one unbounded file.  A
+    single record larger than *max_bytes* still gets written whole —
+    rotation bounds file growth, it never truncates a record.
+    """
+
+    def __init__(self, path, max_bytes: Optional[int] = None, keep: int = 3):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self._path = str(path)
+        self.max_bytes = max_bytes
+        self.keep = int(keep)
         self._lock = threading.Lock()
         self._handle = open(self._path, "a", encoding="utf-8")
+        self._size = self._handle.tell()  # append mode: current file size
 
     @property
     def path(self) -> str:
         return self._path
 
     def write(self, record: Dict[str, object]) -> None:
-        line = json.dumps(record, sort_keys=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        encoded = len(line.encode("utf-8"))
         with self._lock:
-            self._handle.write(line + "\n")
+            if (
+                self.max_bytes is not None
+                and self._size > 0
+                and self._size + encoded > self.max_bytes
+            ):
+                self._rotate()
+            self._handle.write(line)
             self._handle.flush()
+            self._size += encoded
+
+    def _rotate(self) -> None:
+        """Shift path -> path.1 -> ... -> path.keep (caller holds lock)."""
+        self._handle.close()
+        oldest = Path(f"{self._path}.{self.keep}")
+        if oldest.exists():
+            oldest.unlink()
+        for generation in range(self.keep - 1, 0, -1):
+            source = Path(f"{self._path}.{generation}")
+            if source.exists():
+                source.rename(f"{self._path}.{generation + 1}")
+        Path(self._path).rename(f"{self._path}.1")
+        self._handle = open(self._path, "a", encoding="utf-8")
+        self._size = 0
 
     def close(self) -> None:
         with self._lock:

@@ -37,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.corpus.dictionaries import EditorialDictionary
 from repro.corpus.wikipedia import WikipediaStore
 from repro.obs import Tracer, get_tracer
+from repro.obs.quality import DriftBaseline
 from repro.features.interestingness import InterestingnessExtractor
 from repro.features.relevance import (
     RESOURCE_SNIPPETS,
@@ -114,6 +115,9 @@ class BuildReport:
     stages: List[StageStats] = field(default_factory=list)
     pack_paths: Dict[str, str] = field(default_factory=dict)
     pack_sha256: Dict[str, str] = field(default_factory=dict)
+    # Per-feature serving-value moments for the drift detector; optional
+    # so manifests from older builds (and their readers) stay valid.
+    feature_baselines: Optional[Dict[str, object]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -153,6 +157,11 @@ class BuildReport:
             "stages": [stage.as_dict() for stage in self.stages],
             "pack_paths": dict(self.pack_paths),
             "pack_sha256": dict(self.pack_sha256),
+            **(
+                {"feature_baselines": self.feature_baselines}
+                if self.feature_baselines is not None
+                else {}
+            ),
         }
 
 
@@ -303,14 +312,15 @@ class OfflineBuilder:
             ),
         )
 
-        interestingness_store, relevance_store = clock.run(
-            "quantize",
-            len(phrases),
-            "concepts",
-            lambda: (
-                QuantizedInterestingnessStore.from_vectors(vectors),
-                PackedRelevanceStore.build(model),
-            ),
+        def _quantize():
+            store = QuantizedInterestingnessStore.from_vectors(vectors)
+            # The drift baseline measures the *dequantized* values the
+            # serving feature matrix will actually contain, so it is
+            # taken from the store rather than the raw vectors.
+            return store, PackedRelevanceStore.build(model), DriftBaseline.from_store(store)
+
+        interestingness_store, relevance_store, baseline = clock.run(
+            "quantize", len(phrases), "concepts", _quantize
         )
 
         pack_paths = {
@@ -339,6 +349,7 @@ class OfflineBuilder:
             pack_sha256={
                 name: _sha256(path) for name, path in pack_paths.items()
             },
+            feature_baselines=baseline.as_dict(),
         )
         (out / MANIFEST).write_text(
             json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"

@@ -17,7 +17,10 @@ import numpy as np
 
 from repro.detection.pipeline import AnnotatedDocument
 from repro.detection.base import Detection
-from repro.features.interestingness import InterestingnessExtractor
+from repro.features.interestingness import (
+    InterestingnessExtractor,
+    numeric_feature_names,
+)
 from repro.features.relevance import RelevanceScorer
 from repro.ranking.baselines import tie_break_by_relevance
 from repro.ranking.ranksvm import RankSVM
@@ -90,6 +93,13 @@ class FeatureAssembler:
             [self.relevance_scorer.score(phrase, context) for phrase in phrases]
         )
 
+    def feature_names(self) -> List[str]:
+        """Column names of :meth:`matrix` / :meth:`matrix_and_relevance`."""
+        names = numeric_feature_names(self.exclude_groups)
+        if self.relevance_scorer is not None:
+            names.append("relevance")
+        return names
+
     def context_of(self, text: DocumentLike) -> Optional[Set[str]]:
         """Stemmed context (set or sorted TID array), or None when the
         model is interestingness-only.
@@ -122,6 +132,10 @@ class ConceptRanker:
         self._assembler = assembler
         self._model = model
         self.tie_break_with_relevance = tie_break_with_relevance
+        # Optional callable fed every assembled feature matrix (the
+        # drift detector's tap); None keeps the hot path branch-free
+        # beyond one identity check.
+        self.feature_observer = None
 
     def score_phrases(self, phrases: Sequence[str], text: DocumentLike) -> np.ndarray:
         """Model scores for candidate *phrases* of document *text*."""
@@ -145,6 +159,8 @@ class ConceptRanker:
         if not self.tie_break_with_relevance:
             relevance = None
         feature_seconds = time.perf_counter() - started
+        if self.feature_observer is not None:
+            self.feature_observer(features)
         scores = self._model.decision_function(features)
         if relevance is not None:
             scores = tie_break_by_relevance(scores, relevance)

@@ -178,6 +178,33 @@ class RankSVM:
             raise RuntimeError("model is not fitted")
         return self._embed(np.asarray(features, dtype=float)) @ self.weights_
 
+    @property
+    def is_linear(self) -> bool:
+        """True when scores decompose additively over the input features."""
+        return self.kernel == KERNEL_LINEAR and self._feature_map is None
+
+    def standardize(self, features: np.ndarray) -> np.ndarray:
+        """The fitted scaler's view of *features* (no kernel map)."""
+        return self._scaler.transform(np.asarray(features, dtype=float))
+
+    def feature_contributions(self, features: np.ndarray) -> np.ndarray:
+        """Per-feature additive contributions to the decision scores.
+
+        For the linear kernel the decision function is
+        ``((x - mean) / scale) @ w``, so each input feature owns the
+        exact additive term ``w_j * (x_j - mean_j) / scale_j`` and the
+        row sums reproduce :meth:`decision_function`.  The RBF
+        random-features map mixes every input into every component, so
+        no exact per-feature decomposition exists there.
+        """
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        if not self.is_linear:
+            raise ValueError(
+                "feature contributions are only exact for the linear kernel"
+            )
+        return self.standardize(features) * self.weights_
+
     def rank(self, features: np.ndarray) -> np.ndarray:
         """Indices of instances from best to worst."""
         scores = self.decision_function(features)

@@ -26,6 +26,13 @@ legacy :class:`TimingStats` surface is now a thin view over the same
 registry machinery; ranked output is byte-identical with observability
 enabled or disabled (``benchmarks/bench_obs.py`` enforces < 3%
 throughput overhead).
+
+Ranking-quality observability rides on the same path: ``process(...,
+explain=True)`` swaps in the :class:`~repro.obs.explain.ExplainableRanker`
+(same floats, same order, plus per-feature score decompositions), an
+attached :class:`~repro.obs.quality.QualityMonitor` sees every ranking,
+and an attached :class:`~repro.obs.quality.DriftDetector` taps every
+assembled feature matrix through ``ConceptRanker.feature_observer``.
 """
 
 from __future__ import annotations
@@ -242,6 +249,8 @@ class RankerService:
         exclude_groups: Tuple[str, ...] = (),
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        quality=None,
+        drift=None,
     ):
         self._pipeline = pipeline
         assembler = FeatureAssembler(
@@ -250,7 +259,15 @@ class RankerService:
             exclude_groups=exclude_groups,
         )
         self._store = interestingness_store
+        self._assembler = assembler
+        self._model = model
         self._ranker = ConceptRanker(assembler, model)
+        self._explainer = None  # built lazily on the first explain=True
+        self.quality = quality
+        self.drift = drift
+        if drift is not None:
+            drift.bind(assembler.feature_names())
+            self._ranker.feature_observer = drift.observe
         self._registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
         reg = self._registry
@@ -317,13 +334,36 @@ class RankerService:
         """Fresh legacy stats view (registry counters stay cumulative)."""
         self.stats = TimingStats()
 
-    def process(self, text: str, top: Optional[int] = None) -> List[Detection]:
-        """Detect, score, and rank the concepts of *text* (timed)."""
-        return self._process(text, top, self.stats)
+    def _explainable_ranker(self):
+        """The explain-path twin of the ranker (built on first use)."""
+        if self._explainer is None:
+            from repro.obs.explain import ExplainableRanker
+
+            explainer = ExplainableRanker(self._assembler, self._model)
+            explainer.feature_observer = self._ranker.feature_observer
+            self._explainer = explainer
+        return self._explainer
+
+    def process(
+        self, text: str, top: Optional[int] = None, explain: bool = False
+    ):
+        """Detect, score, and rank the concepts of *text* (timed).
+
+        Returns the ranked detections; with ``explain=True`` returns
+        ``(ranked, explanations)`` instead, where ``explanations[i]``
+        decomposes ``ranked[i]``'s score per feature (linear kernel
+        only).  The ranked order is identical either way — the explain
+        path replays the exact same float operations.
+        """
+        return self._process(text, top, self.stats, explain=explain)
 
     def _process(
-        self, text: str, top: Optional[int], stats: TimingStats
-    ) -> List[Detection]:
+        self,
+        text: str,
+        top: Optional[int],
+        stats: TimingStats,
+        explain: bool = False,
+    ):
         """One document through the single-pass path, timed into *stats*."""
         trace = self._tracer.start("process")
         started = time.perf_counter()
@@ -343,9 +383,21 @@ class RankerService:
         pruned = AnnotatedDocument(
             text=annotated.text, detections=known, tokens=document
         )
-        ranked, feature_seconds = self._ranker.rank_document_timed(pruned)
+        explanations = None
+        if explain:
+            ranked, explanations, feature_seconds = (
+                self._explainable_ranker().explain_document_timed(pruned)
+            )
+        else:
+            ranked, feature_seconds = self._ranker.rank_document_timed(pruned)
+        if self.quality is not None and ranked:
+            self.quality.observe_ranking(
+                [d.phrase for d in ranked], [d.score for d in ranked]
+            )
         if top is not None:
             ranked = ranked[:top]
+            if explanations is not None:
+                explanations = explanations[:top]
         rank_done = time.perf_counter()
 
         stem_seconds = stem_done - started
@@ -392,7 +444,13 @@ class RankerService:
                     "top": top,
                 }
             )
+            if explanations is not None:
+                trace.meta["explanations"] = [
+                    e.to_dict() for e in explanations
+                ]
         self._tracer.finish(trace)
+        if explain:
+            return ranked, explanations if explanations is not None else []
         return ranked
 
     def process_batch(

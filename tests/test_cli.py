@@ -1,11 +1,42 @@
 """Tests for the command-line interface (parser wiring + demo command)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 
 
 class TestParser:
+    def test_serve_arguments(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--port-file", "/tmp/port",
+            "--pack", "packs/", "--top", "7",
+            "--trace-out", "t.jsonl", "--trace-max-bytes", "4096",
+        ])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.port_file == "/tmp/port"
+        assert args.pack == "packs/"
+        assert args.top == 7
+        assert args.trace_max_bytes == 4096
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8080
+        assert args.pack is None
+        assert args.trace_max_bytes is None
+
+    def test_stats_sources(self):
+        args = build_parser().parse_args(["stats", "--snapshot", "snap.json"])
+        assert args.snapshot == "snap.json"
+        assert args.url is None
+        args = build_parser().parse_args(
+            ["stats", "--url", "http://127.0.0.1:9/metrics"]
+        )
+        assert args.url == "http://127.0.0.1:9/metrics"
+        assert args.snapshot is None
     def test_demo_defaults(self):
         args = build_parser().parse_args(["demo"])
         assert args.command == "demo"
@@ -55,3 +86,32 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "unit lexicon" in output
         assert "query log" in output
+
+    def test_stats_snapshot_file_renders_without_a_workload(
+        self, capsys, tmp_path
+    ):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("rank_documents_total").inc(12)
+        snapshot_file = tmp_path / "snap.json"
+        snapshot_file.write_text(json.dumps(registry.snapshot()))
+
+        assert main(["stats", "--snapshot", str(snapshot_file)]) == 0
+        output = capsys.readouterr().out
+        assert "repro_rank_documents_total 12" in output
+
+        assert main([
+            "stats", "--snapshot", str(snapshot_file), "--format", "json"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rank_documents_total"]["series"][0]["value"] == 12
+
+    def test_stats_snapshot_and_url_are_exclusive(self, capsys, tmp_path):
+        snapshot_file = tmp_path / "snap.json"
+        snapshot_file.write_text("{}")
+        assert main([
+            "stats", "--snapshot", str(snapshot_file),
+            "--url", "http://127.0.0.1:9/metrics",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -168,3 +168,88 @@ class TestOnlineEndToEnd:
         flat_scores = [0.0] * len(phrases)
         ranked = adjuster.rerank(phrases, flat_scores)
         assert ranked[0][0] == spiking
+
+    @staticmethod
+    def _report(story_id, views, *entities):
+        """A weekly-report row from (phrase, clicks) pairs."""
+        from repro.clicks.tracking import EntityObservation, StoryClickRecord
+
+        return StoryClickRecord(
+            story_id=story_id,
+            text=" ".join(phrase for phrase, __ in entities),
+            views=views,
+            entities=[
+                EntityObservation(
+                    phrase=phrase, concept_id=None, entity_type=None,
+                    position=index, baseline_score=0.0,
+                    views=views, clicks=clicks,
+                )
+                for index, (phrase, clicks) in enumerate(entities)
+            ],
+        )
+
+    def test_report_stream_to_rerank(self):
+        """Weekly reports -> tracker -> adjuster flips a flat ranking."""
+        tracker = OnlineCtrTracker()
+        for story_id in range(5):
+            tracker.observe_report(self._report(
+                story_id, 1000,
+                ("hot topic", 100),   # CTR 0.10
+                ("average", 20),      # CTR 0.02
+                ("cold topic", 1),    # CTR 0.001
+            ))
+        adjuster = OnlineScoreAdjuster(tracker, strength=0.5)
+        ranked = adjuster.rerank(
+            ["cold topic", "average", "hot topic"], [0.0, 0.0, 0.0]
+        )
+        assert [phrase for phrase, __ in ranked] == [
+            "hot topic", "average", "cold topic"
+        ]
+        # adjusted scores keep the additive-margin scale ordering
+        assert ranked[0][1] > ranked[1][1] > ranked[2][1]
+
+    def test_decay_across_reports_follows_regime_change(self):
+        """Old hot evidence decays: the rerank tracks the NEW regime."""
+        tracker = OnlineCtrTracker(half_life_views=2000)
+        # early regime: 'fading' is the breaking story
+        for story_id in range(3):
+            tracker.observe_report(self._report(
+                story_id, 1000, ("fading", 150), ("steady", 20),
+            ))
+        adjuster = OnlineScoreAdjuster(tracker, strength=1.0)
+        early = adjuster.rerank(["steady", "fading"], [0.0, 0.0])
+        assert early[0][0] == "fading"
+
+        # late regime: heavy traffic where 'fading' stops clicking
+        for story_id in range(3, 23):
+            tracker.observe_report(self._report(
+                story_id, 1000, ("fading", 1), ("steady", 20),
+            ))
+        late = adjuster.rerank(["steady", "fading"], [0.0, 0.0])
+        assert late[0][0] == "steady"
+        # the early spike is worth less than half a report of views now
+        assert tracker.views("fading") < 21000
+
+    def test_prior_views_smoothing_resists_tiny_samples(self):
+        """Two lucky clicks cannot outrank an established hot concept."""
+        tracker = OnlineCtrTracker()
+        for story_id in range(5):
+            tracker.observe_report(self._report(
+                story_id, 2000, ("established", 200), ("bulk", 40),
+            ))
+        # one tiny report with a perfect CTR
+        tracker.observe_report(self._report(99, 2, ("lucky", 2)))
+
+        # raw CTR says lucky (1.0) beats established (0.1)...
+        raw_lucky = 1.0
+        assert raw_lucky > 0.1
+        # ...but the shrunk estimate stays near the global prior
+        assert tracker.ctr("lucky", prior_views=200) < tracker.ctr(
+            "established", prior_views=200
+        )
+        adjuster = OnlineScoreAdjuster(tracker, strength=0.5)
+        ranked = adjuster.rerank(["lucky", "established"], [0.0, 0.0])
+        assert ranked[0][0] == "established"
+        # smoothing dampens, not erases: lucky still beats a dead concept
+        tracker.observe_report(self._report(100, 2000, ("dead", 0)))
+        assert adjuster.adjustment("lucky") > adjuster.adjustment("dead")

@@ -25,6 +25,7 @@ from repro.obs import (
     configure,
     get_registry,
     get_tracer,
+    render_snapshot,
     set_registry,
     set_tracer,
 )
@@ -119,6 +120,48 @@ class TestRegistry:
         hist.observe(1.0)
         assert registry.snapshot() == {}
         assert registry.render_prometheus() == ""
+
+    def test_quantile_empty_histogram(self):
+        hist = MetricsRegistry().histogram("empty", buckets=(1, 10))
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 0.0
+
+    def test_quantile_q0_skips_empty_leading_buckets(self):
+        """q=0 means the minimum, which lives in the first *populated*
+        bucket — empty leading buckets must not answer."""
+        hist = MetricsRegistry().histogram("lead", buckets=(1, 10, 100))
+        hist.observe(50)
+        assert hist.quantile(0.0) == 100
+        assert hist.quantile(1.0) == 100
+
+    def test_quantile_q1_and_overflow(self):
+        hist = MetricsRegistry().histogram("edges", buckets=(1, 10))
+        hist.observe(0.5)
+        assert hist.quantile(1.0) == 1
+        hist.observe(1000)  # lands in +Inf
+        assert hist.quantile(0.5) == 1
+        assert hist.quantile(1.0) == float("inf")
+
+    def test_quantile_single_bucket(self):
+        hist = MetricsRegistry().histogram("single", buckets=(5,))
+        hist.observe(3)
+        assert hist.quantile(0.0) == 5
+        assert hist.quantile(0.5) == 5
+        assert hist.quantile(1.0) == 5
+
+    def test_render_snapshot_matches_live_render(self):
+        """The snapshot renderer and the live renderer are one path —
+        including after a JSON round-trip (the --snapshot source)."""
+        registry = MetricsRegistry()
+        registry.counter("queries_total", help="by kind", kind="free").inc(3)
+        registry.gauge("workers").set(4)
+        registry.histogram("lat", buckets=(0.1, 1.0), stage="stem").observe(0.05)
+        live = registry.render_prometheus()
+        assert render_snapshot(registry.snapshot()) == live
+        round_tripped = json.loads(json.dumps(registry.snapshot()))
+        assert render_snapshot(round_tripped) == live
+        assert render_snapshot(round_tripped, prefix="x_").startswith("# TYPE x_")
 
     def test_reset_keeps_families(self):
         registry = MetricsRegistry()
@@ -242,6 +285,59 @@ class TestTracer:
         assert record["kind"] == "req"
         assert len(tracer.recent) == 2  # ring bounded by keep_last
 
+    def test_sink_rotation_by_size(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        record = {"kind": "req", "n": 0}
+        line_bytes = len(json.dumps(record, sort_keys=True)) + 1
+        sink = JsonLinesTraceSink(path, max_bytes=line_bytes * 2, keep=2)
+        try:
+            for n in range(7):
+                sink.write({"kind": "req", "n": n})
+        finally:
+            sink.close()
+        # 7 two-record generations: live file has 1, .1 has 2, .2 has 2,
+        # the oldest generation fell off the end
+        live = path.read_text().strip().splitlines()
+        gen1 = (tmp_path / "traces.jsonl.1").read_text().strip().splitlines()
+        gen2 = (tmp_path / "traces.jsonl.2").read_text().strip().splitlines()
+        assert not (tmp_path / "traces.jsonl.3").exists()
+        assert [json.loads(l)["n"] for l in live] == [6]
+        assert [json.loads(l)["n"] for l in gen1] == [4, 5]
+        assert [json.loads(l)["n"] for l in gen2] == [2, 3]
+
+    def test_sink_rotation_never_truncates_a_record(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonLinesTraceSink(path, max_bytes=10, keep=1)
+        try:
+            sink.write({"kind": "huge", "payload": "x" * 100})
+            sink.write({"kind": "huge", "payload": "y" * 100})
+        finally:
+            sink.close()
+        # each oversized record is written whole; rotation separates them
+        assert json.loads(path.read_text())["payload"] == "y" * 100
+        assert json.loads(
+            (tmp_path / "traces.jsonl.1").read_text()
+        )["payload"] == "x" * 100
+
+    def test_sink_rotation_counts_preexisting_bytes(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"kind": "old"}\n' * 5)
+        size = path.stat().st_size
+        sink = JsonLinesTraceSink(path, max_bytes=size + 1, keep=1)
+        try:
+            sink.write({"kind": "new"})
+        finally:
+            sink.close()
+        # the append reopened an already-large file: first write rotates
+        assert json.loads(path.read_text())["kind"] == "new"
+        assert (tmp_path / "traces.jsonl.1").exists()
+
+    def test_sink_rejects_bad_rotation_params(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonLinesTraceSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonLinesTraceSink(tmp_path / "t.jsonl", max_bytes=10, keep=0)
+
     def test_configure_swaps_globals(self):
         previous_registry, previous_tracer = get_registry(), get_tracer()
         try:
@@ -298,6 +394,31 @@ class TestTimingStats:
         assert left.ranker_seconds == 2.0
         assert left.documents == 3
         assert left.detections == 7
+
+    def test_merge_zero_duration_side(self):
+        """Merging a side with documents but no elapsed time must keep
+        every rate finite (0.0, never a ZeroDivision/inf)."""
+        left = TimingStats(documents=2, detections=4)  # no seconds, no bytes
+        right = TimingStats(bytes_processed=500, documents=1)  # zero seconds
+        left.merge(right)
+        assert left.documents == 3
+        assert left.bytes_processed == 500
+        assert left.stemmer_mb_per_second == 0.0
+        assert left.ranker_mb_per_second == 0.0
+        # and the mirror: real work absorbs a zero-duration side intact
+        busy = TimingStats(stemmer_seconds=1.0, bytes_processed=1_000_000)
+        busy.merge(TimingStats(documents=5))
+        assert busy.stemmer_mb_per_second == 1.0
+        assert busy.documents == 5
+
+    def test_merge_duck_typed_partial_object(self):
+        class Partial:
+            documents = 2  # no other TimingStats fields at all
+
+        stats = TimingStats(documents=1)
+        stats.merge(Partial())
+        assert stats.documents == 3
+        assert stats.stemmer_seconds == 0.0
 
     def test_equality_and_repr(self):
         a = TimingStats(documents=2)

@@ -1,0 +1,387 @@
+"""Model-quality monitors: CTR by position, rank churn, feature drift."""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.clicks import OnlineCtrTracker
+from repro.obs import MetricsRegistry
+from repro.obs.quality import (
+    DriftBaseline,
+    DriftDetector,
+    QualityMonitor,
+    baseline_from_manifest,
+    load_baseline,
+)
+
+
+def _entity(phrase, baseline_score, views, clicks):
+    return SimpleNamespace(
+        phrase=phrase, baseline_score=baseline_score, views=views,
+        clicks=clicks,
+    )
+
+
+def _report(*entities):
+    return SimpleNamespace(entities=list(entities))
+
+
+class TestQualityMonitor:
+    def test_ctr_by_position_orders_by_baseline_score(self):
+        registry = MetricsRegistry()
+        monitor = QualityMonitor(registry=registry, positions=3)
+        # entity order in the report is scrambled; position comes from
+        # the production score, matching what users saw
+        monitor.observe_report(_report(
+            _entity("low", 0.1, 100, 1),
+            _entity("top", 0.9, 100, 20),
+            _entity("mid", 0.5, 100, 5),
+        ))
+        assert monitor.ctr_at(0) == pytest.approx(0.20)
+        assert monitor.ctr_at(1) == pytest.approx(0.05)
+        assert monitor.ctr_at(2) == pytest.approx(0.01)
+
+    def test_sliding_window_forgets(self):
+        monitor = QualityMonitor(registry=MetricsRegistry(), window=2)
+        monitor.observe_report(_report(_entity("a", 1.0, 100, 50)))
+        monitor.observe_report(_report(_entity("a", 1.0, 100, 0)))
+        monitor.observe_report(_report(_entity("a", 1.0, 100, 0)))
+        assert monitor.ctr_at(0) == 0.0  # the hot report slid out
+
+    def test_counters_and_global_ctr(self):
+        registry = MetricsRegistry()
+        monitor = QualityMonitor(registry=registry)
+        monitor.observe_report(_report(
+            _entity("a", 1.0, 200, 10), _entity("b", 0.5, 200, 0),
+        ))
+        snap = registry.snapshot()
+        assert snap["quality_reports_total"]["series"][0]["value"] == 1
+        assert snap["quality_views_total"]["series"][0]["value"] == 400
+        assert snap["quality_clicks_total"]["series"][0]["value"] == 10
+        assert snap["quality_ctr"]["series"][0]["value"] == pytest.approx(
+            10 / 400
+        )
+
+    def test_tracker_receives_every_report(self):
+        tracker = OnlineCtrTracker()
+        monitor = QualityMonitor(registry=MetricsRegistry(), tracker=tracker)
+        monitor.observe_report(_report(_entity("cuba", 1.0, 300, 30)))
+        assert tracker.views("cuba") == pytest.approx(300, rel=0.01)
+
+    def test_churn_zero_for_identical_rankings(self):
+        registry = MetricsRegistry()
+        monitor = QualityMonitor(registry=registry)
+        monitor.observe_ranking(["a", "b", "c"], [3.0, 2.0, 1.0])
+        monitor.observe_ranking(["a", "b", "c"], [3.0, 2.0, 1.0])
+        snap = registry.snapshot()
+        assert snap["rank_churn_last"]["series"][0]["value"] == 0.0
+        assert snap["rank_churn"]["series"][0]["count"] == 1  # first has no peer
+
+    def test_churn_one_for_reversal(self):
+        registry = MetricsRegistry()
+        monitor = QualityMonitor(registry=registry)
+        monitor.observe_ranking(["a", "b", "c"], [3.0, 2.0, 1.0])
+        monitor.observe_ranking(["c", "b", "a"], [3.0, 2.0, 1.0])
+        assert (
+            registry.snapshot()["rank_churn_last"]["series"][0]["value"] == 1.0
+        )
+
+    def test_churn_ignores_disjoint_rankings(self):
+        registry = MetricsRegistry()
+        monitor = QualityMonitor(registry=registry)
+        monitor.observe_ranking(["a", "b"], [2.0, 1.0])
+        monitor.observe_ranking(["x", "y"], [2.0, 1.0])
+        # fewer than two shared phrases: nothing comparable, no sample
+        assert registry.snapshot()["rank_churn"]["series"][0]["count"] == 0
+
+    def test_churn_partial_overlap(self):
+        assert QualityMonitor._churn(
+            {"a": 0, "b": 1, "c": 2}, {"b": 0, "a": 1, "d": 2}
+        ) == 1.0  # the one shared pair (a, b) flipped
+        assert QualityMonitor._churn({"a": 0}, {"a": 0}) is None
+
+    def test_score_distribution_recorded(self):
+        registry = MetricsRegistry()
+        monitor = QualityMonitor(registry=registry)
+        monitor.observe_ranking(["a", "b"], [0.2, -0.7])
+        series = registry.snapshot()["rank_score"]["series"][0]
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(-0.5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            QualityMonitor(registry=MetricsRegistry(), positions=0)
+        with pytest.raises(ValueError):
+            QualityMonitor(registry=MetricsRegistry(), churn_depth=1)
+
+
+class TestDriftBaseline:
+    def test_from_matrix_and_round_trip(self):
+        matrix = np.array([[1.0, 10.0], [3.0, 30.0]])
+        baseline = DriftBaseline.from_matrix(["a", "b"], matrix)
+        assert baseline.count == 2
+        np.testing.assert_allclose(baseline.mean, [2.0, 20.0])
+        payload = json.loads(json.dumps(baseline.as_dict()))
+        restored = DriftBaseline.from_dict(payload)
+        assert restored.names == ("a", "b")
+        np.testing.assert_allclose(restored.mean, baseline.mean)
+        np.testing.assert_allclose(restored.std, baseline.std)
+
+    def test_from_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DriftBaseline.from_matrix(["a"], np.zeros((3, 2)))
+
+    def test_from_dict_none(self):
+        assert DriftBaseline.from_dict(None) is None
+        assert DriftBaseline.from_dict({}) is None
+
+    def test_manifest_helpers_tolerate_old_packs(self, tmp_path):
+        assert baseline_from_manifest(None) is None
+        assert baseline_from_manifest({"mode": "fast"}) is None
+        assert load_baseline(tmp_path) is None  # no manifest.json at all
+        (tmp_path / "manifest.json").write_text(json.dumps({"mode": "fast"}))
+        assert load_baseline(tmp_path) is None
+        (tmp_path / "manifest.json").write_text(json.dumps({
+            "feature_baselines": {
+                "names": ["a"], "mean": [0.0], "std": [1.0], "count": 5,
+            }
+        }))
+        baseline = load_baseline(tmp_path)
+        assert baseline.names == ("a",)
+        assert baseline.count == 5
+
+    def test_from_store_matches_dequantized_values(
+        self, env_world, env_extractor
+    ):
+        from repro.runtime import QuantizedInterestingnessStore
+
+        phrases = [c.phrase for c in env_world.concepts[:40]]
+        store = QuantizedInterestingnessStore.build(env_extractor, phrases)
+        baseline = DriftBaseline.from_store(store)
+        manual = np.vstack(
+            [store.extract(p).numeric(()) for p in store.phrases()]
+        )
+        np.testing.assert_allclose(baseline.mean, manual.mean(axis=0))
+        assert baseline.count == len(store.phrases())
+        assert len(baseline.names) == manual.shape[1]
+
+
+def _unit_baseline(names):
+    return DriftBaseline(
+        names=tuple(names),
+        mean=np.zeros(len(names)),
+        std=np.ones(len(names)),
+        count=100,
+    )
+
+
+class TestDriftDetector:
+    def _detector(self, registry=None, **kwargs):
+        kwargs.setdefault("min_observations", 8)
+        kwargs.setdefault("check_every", 4)
+        return DriftDetector(
+            _unit_baseline(["f0", "f1"]),
+            feature_names=["f0", "f1", "relevance"],
+            registry=registry or MetricsRegistry(),
+            **kwargs,
+        )
+
+    def test_bind_skips_unknown_columns(self):
+        detector = self._detector()
+        assert detector.unmonitored == ("relevance",)
+        assert [
+            detector.baseline.names[b] for __, b in detector._columns
+        ] == ["f0", "f1"]
+
+    def test_in_distribution_does_not_alert(self):
+        registry = MetricsRegistry()
+        detector = self._detector(registry)
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            matrix = np.concatenate(
+                [rng.normal(size=(4, 2)), np.zeros((4, 1))], axis=1
+            )
+            detector.observe(matrix)
+        assert detector.drifted_features() == []
+        snap = registry.snapshot()
+        alerts = sum(
+            s["value"]
+            for s in snap["feature_drift_alerts_total"]["series"]
+        )
+        assert alerts == 0
+
+    def test_alert_fires_once_per_excursion(self):
+        registry = MetricsRegistry()
+        # short half-life so recovery/re-excursion converge in-test
+        detector = self._detector(
+            registry, z_threshold=3.0, half_life_rows=64.0
+        )
+        shifted = np.tile([5.0, 0.0, 0.0], (4, 1))  # f0 five sigma off
+        for __ in range(6):
+            detector.observe(shifted)
+        assert detector.drifted_features() == ["f0"]
+
+        def alerts():
+            return {
+                s["labels"]["feature"]: s["value"]
+                for s in registry.snapshot()[
+                    "feature_drift_alerts_total"
+                ]["series"]
+            }
+
+        assert alerts() == {"f0": 1.0, "f1": 0.0}
+        # staying in drift must NOT re-alert
+        for __ in range(6):
+            detector.observe(shifted)
+        assert alerts()["f0"] == 1.0
+        # recovery clears the state ...
+        recovered = np.zeros((4, 3))
+        for __ in range(100):
+            detector.observe(recovered)
+        assert detector.drifted_features() == []
+        # ... so the next excursion alerts again
+        for __ in range(100):
+            detector.observe(shifted)
+        assert alerts()["f0"] == 2.0
+
+    def test_min_observations_gates_alerts(self):
+        detector = self._detector(min_observations=1000)
+        shifted = np.tile([9.0, 0.0, 0.0], (4, 1))
+        for __ in range(10):
+            detector.observe(shifted)
+        # z-score is huge but the evidence mass is below the gate
+        assert abs(detector.check()["f0"]) > 3.0
+        assert detector.drifted_features() == []
+
+    def test_decay_forgets_old_distribution(self):
+        detector = self._detector(half_life_rows=8.0)
+        shifted = np.tile([9.0, 0.0, 0.0], (4, 1))
+        for __ in range(10):
+            detector.observe(shifted)
+        assert detector.drifted_features() == ["f0"]
+        for __ in range(50):
+            detector.observe(np.zeros((4, 3)))
+        assert detector.drifted_features() == []
+
+    def test_zscore_gauges_and_status(self):
+        registry = MetricsRegistry()
+        detector = self._detector(registry)
+        detector.observe(np.tile([2.0, -1.0, 0.0], (8, 1)))
+        status = detector.status()
+        assert status["monitored"] == ["f0", "f1"]
+        assert status["unmonitored"] == ["relevance"]
+        assert status["zscores"]["f0"] == pytest.approx(2.0)
+        assert status["zscores"]["f1"] == pytest.approx(-1.0)
+        json.dumps(status)  # /readyz payload must be JSON-ready
+        gauges = {
+            s["labels"]["feature"]: s["value"]
+            for s in registry.snapshot()["feature_drift_zscore"]["series"]
+        }
+        assert gauges["f0"] == pytest.approx(2.0)
+
+    def test_near_zero_std_column_is_stable(self):
+        baseline = DriftBaseline(
+            names=("flat",), mean=np.array([1.0]), std=np.array([0.0]),
+            count=10,
+        )
+        detector = DriftDetector(
+            baseline, feature_names=["flat"], registry=MetricsRegistry(),
+            min_observations=1, check_every=1,
+        )
+        detector.observe(np.ones((4, 1)))
+        assert np.isfinite(detector.check()["flat"])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DriftDetector(_unit_baseline(["a"]), z_threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftDetector(_unit_baseline(["a"]), check_every=0)
+
+    def test_empty_matrix_and_unbound_are_noops(self):
+        detector = DriftDetector(
+            _unit_baseline(["a"]), registry=MetricsRegistry()
+        )
+        detector.observe(np.zeros((3, 1)))  # not bound yet: ignored
+        assert detector.check() == {}
+        detector.bind(["a"])
+        detector.observe(np.zeros((0, 1)))  # zero rows: ignored
+        assert detector.status()["rows_observed"] == 0
+
+
+class TestServiceQualityWiring:
+    @pytest.fixture(scope="class")
+    def serving(self, env_world, env_extractor, env_miner, env_pipeline):
+        from repro.features import RelevanceModel
+        from repro.ranking import RankSVM
+        from repro.runtime import (
+            PackedRelevanceStore,
+            QuantizedInterestingnessStore,
+        )
+
+        phrases = [c.phrase for c in env_world.concepts]
+        interestingness = QuantizedInterestingnessStore.build(
+            env_extractor, phrases
+        )
+        relevance = PackedRelevanceStore.build(
+            RelevanceModel.mine_all(env_miner, phrases[:30])
+        )
+        svm = RankSVM(epochs=30)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 16))
+        svm.fit(X, X[:, 0], np.repeat(np.arange(8), 5))
+        return env_pipeline, interestingness, relevance, svm
+
+    def test_service_feeds_quality_and_drift(self, serving, env_stories):
+        from repro.obs import Tracer
+        from repro.runtime import RankerService
+
+        pipeline, interestingness, relevance, svm = serving
+        registry = MetricsRegistry()
+        quality = QualityMonitor(registry=registry)
+        baseline = DriftBaseline.from_store(interestingness)
+        drift = DriftDetector(
+            baseline, registry=registry, min_observations=1, check_every=1
+        )
+        service = RankerService(
+            pipeline, interestingness, relevance, svm,
+            registry=registry, tracer=Tracer(sample_every=0),
+            quality=quality, drift=drift,
+        )
+        # the serving relevance column has no build-time distribution
+        assert drift.unmonitored == ("relevance",)
+        results = service.process_batch(
+            [s.text for s in env_stories[:4]], top=5
+        )
+        snap = registry.snapshot()
+        assert snap["quality_rankings_total"]["series"][0]["value"] == sum(
+            1 for r in results if r
+        )
+        assert snap["feature_drift_rows_total"]["series"][0]["value"] > 0
+        assert drift.status()["rows_observed"] > 0
+
+    def test_results_identical_with_and_without_monitors(
+        self, serving, env_stories
+    ):
+        from repro.obs import Tracer
+        from repro.runtime import RankerService
+
+        pipeline, interestingness, relevance, svm = serving
+        baseline = DriftBaseline.from_store(interestingness)
+        monitored = RankerService(
+            pipeline, interestingness, relevance, svm,
+            registry=MetricsRegistry(), tracer=Tracer(sample_every=0),
+            quality=QualityMonitor(registry=MetricsRegistry()),
+            drift=DriftDetector(baseline, registry=MetricsRegistry()),
+        )
+        plain = RankerService(
+            pipeline, interestingness, relevance, svm,
+            registry=MetricsRegistry(), tracer=Tracer(sample_every=0),
+        )
+        texts = [s.text for s in env_stories[:3]]
+        monitored_out = monitored.process_batch(texts, top=5)
+        plain_out = plain.process_batch(texts, top=5)
+        assert [
+            [(d.phrase, d.score) for d in ranked] for ranked in monitored_out
+        ] == [[(d.phrase, d.score) for d in ranked] for ranked in plain_out]

@@ -98,6 +98,45 @@ class TestBuilder:
         assert manifest["pack_sha256"] == report.pack_sha256
         assert len(manifest["stages"]) == 7
 
+    def test_manifest_bakes_drift_baseline(self, world, tmp_path):
+        from repro.obs.quality import DriftBaseline, load_baseline
+
+        report = build(world, tmp_path, "baseline", fast=True, workers=1)
+        assert report.feature_baselines is not None
+        assert report.as_dict()["feature_baselines"] == report.feature_baselines
+        manifest = json.loads(
+            (tmp_path / "baseline" / MANIFEST).read_text()
+        )
+        assert manifest["feature_baselines"] == report.feature_baselines
+
+        baseline = load_baseline(tmp_path / "baseline")
+        assert baseline is not None
+        assert baseline.count == len(CONCEPTS)
+        # the baseline measures the dequantized serving-side vectors
+        store = load_interestingness_store(
+            tmp_path / "baseline" / INTERESTINGNESS_PACK
+        )
+        recomputed = DriftBaseline.from_store(store)
+        assert baseline.names == recomputed.names
+        assert list(baseline.mean) == pytest.approx(list(recomputed.mean))
+        width = store.extract(CONCEPTS[0]).numeric(()).size
+        assert len(baseline.names) == width
+
+    def test_old_manifests_without_baseline_still_load(self, world, tmp_path):
+        from repro.obs.quality import load_baseline
+
+        build(world, tmp_path, "oldpack", fast=True, workers=1)
+        manifest_path = tmp_path / "oldpack" / MANIFEST
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["feature_baselines"]  # simulate a pre-baseline pack
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_baseline(tmp_path / "oldpack") is None
+        # and the stores themselves are oblivious to the manifest change
+        store = load_interestingness_store(
+            tmp_path / "oldpack" / INTERESTINGNESS_PACK
+        )
+        assert CONCEPTS[0] in store
+
     def test_packs_load_back(self, world, tmp_path):
         build(world, tmp_path, "load", fast=True, workers=1)
         interestingness = load_interestingness_store(
