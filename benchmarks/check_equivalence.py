@@ -30,6 +30,8 @@ REQUIRED_FLAGS = {
     "BENCH_hotpath.json": (
         "results_identical_to_seed_path",
         "parallel_batch.identical_to_sequential",
+        "automaton.identical_to_seed_path",
+        "automaton.identical_to_pure_python",
     ),
     "BENCH_store.json": (
         "equivalence.columnar_matches_seed",

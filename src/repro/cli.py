@@ -306,10 +306,14 @@ def _build_quick_service(
     )
 
     env = _build_env(_QUICK_WORLD, quiet=quiet)
+    if getattr(args, "pure_python", False):
+        # the selectable reference path: trie matching + Porter stemming
+        env.pipeline.attach_kernel(None)
     baseline = None
     if pack_dir is not None:
         from repro.obs.quality import load_baseline
         from repro.runtime.datapack import (
+            load_detection_kernel,
             load_interestingness_store,
             load_relevance_store,
         )
@@ -321,6 +325,22 @@ def _build_quick_service(
             str(pack / "interestingness.rpak")
         )
         relevance = load_relevance_store(str(pack / "relevance.rpak"))
+        detection_pack = pack / "detection.rpak"
+        if detection_pack.exists() and not getattr(args, "pure_python", False):
+            try:
+                env.pipeline.attach_kernel(
+                    load_detection_kernel(str(detection_pack))
+                )
+                if not quiet:
+                    print("  detection kernel: loaded from pack", flush=True)
+            except ValueError as error:
+                # pack built against a different inventory: keep the
+                # lazily-compiled kernel instead of a mismatched one
+                if not quiet:
+                    print(
+                        f"  detection kernel: not attached ({error})",
+                        flush=True,
+                    )
         baseline = load_baseline(pack_dir)
         if baseline is None and not quiet:
             print(
@@ -559,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Prometheus text (default) or the JSON snapshot",
     )
     stats.add_argument(
+        "--pure-python", action="store_true",
+        help="run the pure-Python detection path (no compiled kernel)",
+    )
+    stats.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write sampled traces as JSON lines to PATH",
     )
@@ -585,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--relevance-phrases", type=int, default=40,
                        help="concepts to mine when building in-process")
+    serve.add_argument(
+        "--pure-python", action="store_true",
+        help="run the pure-Python detection path (no compiled kernel)",
+    )
     serve.add_argument("--top", type=int, default=10,
                        help="default result count for /explain")
     serve.add_argument(

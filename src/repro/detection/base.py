@@ -9,7 +9,7 @@ the baseline ranker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 KIND_PATTERN = "pattern"
@@ -32,6 +32,40 @@ class Detection:
     terms: Tuple[str, ...] = field(default=())
     score: float = 0.0
 
+    @classmethod
+    def make(
+        cls,
+        text: str,
+        start: int,
+        end: int,
+        kind: str,
+        entity_type: Optional[str] = None,
+        terms: Tuple[str, ...] = (),
+        score: float = 0.0,
+    ) -> "Detection":
+        """Fast construction for per-match hot paths.
+
+        The frozen-dataclass ``__init__`` pays one ``object.__setattr__``
+        per field; installing the instance dict wholesale builds the
+        same instance (``__eq__``/``__hash__`` read the fields, not the
+        construction route) in a single dict literal.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(
+            self,
+            "__dict__",
+            {
+                "text": text,
+                "start": start,
+                "end": end,
+                "kind": kind,
+                "entity_type": entity_type,
+                "terms": terms,
+                "score": score,
+            },
+        )
+        return self
+
     @property
     def phrase(self) -> str:
         """Normalized phrase key (lower-case surface text)."""
@@ -45,8 +79,20 @@ class Detection:
         return self.start < other.end and other.start < self.end
 
     def with_score(self, score: float) -> "Detection":
-        return replace(self, score=score)
+        # direct construction: `dataclasses.replace` re-runs field
+        # introspection per call, which is measurable at per-detection
+        # frequency on the single-document hot path
+        return Detection.make(
+            self.text,
+            self.start,
+            self.end,
+            self.kind,
+            self.entity_type,
+            self.terms,
+            score,
+        )
 
     def priority(self) -> Tuple[int, int]:
         """Collision priority: longer spans win, then kind priority."""
-        return (self.length, _KIND_PRIORITY.get(self.kind, 0))
+        # inline of `self.length`: priority() is a per-detection sort key
+        return (self.end - self.start, _KIND_PRIORITY.get(self.kind, 0))

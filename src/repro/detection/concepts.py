@@ -53,6 +53,20 @@ class ConceptDetector:
     def inventory_size(self) -> int:
         return len(self._phrases)
 
+    @property
+    def lexicon(self) -> UnitLexicon:
+        """The unit lexicon backing `unit_score` (kernel compilation)."""
+        return self._lexicon
+
+    def inventory(self) -> List[Phrase]:
+        """The deduplicated detectable inventory (kernel compilation)."""
+        return self._matcher.inventory()
+
+    def attach_automaton(self, automaton) -> None:
+        """Route detection through a compiled automaton (None restores
+        the pure-Python trie path)."""
+        self._matcher.attach_automaton(automaton)
+
     def detect(self, text: str) -> List[Detection]:
         """All concept occurrences in *text*."""
         return self.detect_document(TokenizedDocument.of(text))
@@ -60,19 +74,11 @@ class ConceptDetector:
     def detect_document(self, document: TokenizedDocument) -> List[Detection]:
         """`detect` over a shared token stream (no re-tokenizing)."""
         text = document.text
-        detections: List[Detection] = []
-        for phrase, start, end in self._matcher.find_document(document):
-            detections.append(
-                Detection(
-                    text=text[start:end],
-                    start=start,
-                    end=end,
-                    kind=KIND_CONCEPT,
-                    entity_type=None,
-                    terms=phrase,
-                )
-            )
-        return detections
+        make = Detection.make
+        return [
+            make(text[start:end], start, end, KIND_CONCEPT, None, phrase)
+            for phrase, start, end in self._matcher.find_document(document)
+        ]
 
     def unit_score(self, phrase: Sequence[str]) -> float:
         """The mined unit score for *phrase* (0.0 if not a unit)."""

@@ -47,8 +47,38 @@ class ConceptVectorScorer:
         self.prune_threshold = prune_threshold
         self.punish_factor = punish_factor
         self.multi_term_bonus = multi_term_bonus
+        self._kernel = None
+
+    @property
+    def lexicon(self) -> UnitLexicon:
+        """The unit lexicon the unit vector segments with."""
+        return self._lexicon
+
+    def attach_kernel(self, kernel) -> None:
+        """Compute counts/segments through a compiled
+        :class:`~repro.detection.kernel.DetectionKernel` (None restores
+        the pure-Python passes).  Only the counting and segmentation
+        change; the tf*idf, shaping, and merge arithmetic is the same
+        code either way, so scores are float-identical.
+        """
+        self._kernel = kernel
 
     # -- the two component vectors -----------------------------------------
+
+    def _shape_term_counts(self, counts: Dict[str, int]) -> TermVector:
+        """Shared tf*idf + normalize/punish/prune over raw term counts."""
+        return TermVector._adopt(self._doc_frequency.tf_idf(counts)).shaped(
+            self.punish_threshold, self.punish_factor, self.prune_threshold
+        )
+
+    def _shape_unit_weights(self, weights: Dict[str, float]) -> TermVector:
+        """Shared punish/prune over raw unit weights."""
+        return TermVector._adopt(weights).shaped(
+            self.punish_threshold,
+            self.punish_factor,
+            self.prune_threshold,
+            normalize=False,
+        )
 
     def term_vector(self, tokens: Sequence[str]) -> TermVector:
         """Normalized, punished, pruned tf*idf vector over single terms."""
@@ -57,11 +87,7 @@ class ConceptVectorScorer:
             if is_stopword(token):
                 continue
             counts[token] = counts.get(token, 0) + 1
-        raw = TermVector(self._doc_frequency.tf_idf(counts))
-        shaped = raw.normalized().punished_below(
-            self.punish_threshold, self.punish_factor
-        )
-        return shaped.pruned_below(self.prune_threshold)
+        return self._shape_term_counts(counts)
 
     def unit_vector(self, tokens: Sequence[str]) -> TermVector:
         """Punished, pruned vector of units found in the document.
@@ -78,10 +104,7 @@ class ConceptVectorScorer:
                 continue
             phrase = " ".join(segment)
             weights[phrase] = max(weights.get(phrase, 0.0), score)
-        shaped = TermVector(weights).punished_below(
-            self.punish_threshold, self.punish_factor
-        )
-        return shaped.pruned_below(self.prune_threshold)
+        return self._shape_unit_weights(weights)
 
     # -- merge ---------------------------------------------------------------
 
@@ -90,32 +113,58 @@ class ConceptVectorScorer:
 
         Accepts a raw string or a shared :class:`TokenizedDocument`; the
         latter avoids re-tokenizing inside the single-pass pipeline.
+        With a compiled kernel attached, counting runs over the cached
+        interned id array and segmentation through the unit automaton.
         """
-        tokens = TokenizedDocument.of(text).words
-        terms = self.term_vector(tokens)
-        units = self.unit_vector(tokens)
+        document = TokenizedDocument.of(text)
+        if self._kernel is not None:
+            # the kernel fuses counting, tf*idf, and shaping into id-
+            # space array passes; per-entry arithmetic is identical
+            terms = TermVector._adopt(
+                self._kernel.term_weights(
+                    document,
+                    self._doc_frequency,
+                    self.punish_threshold,
+                    self.punish_factor,
+                    self.prune_threshold,
+                )
+            )
+            units = self._shape_unit_weights(self._kernel.unit_weights(document))
+        else:
+            tokens = document.words
+            terms = self.term_vector(tokens)
+            units = self.unit_vector(tokens)
 
         merged: Dict[str, float] = {}
-        for phrase, weight in terms.items():
-            if phrase in units:
-                merged[phrase] = weight + units[phrase]
+        terms_weights = terms.weights
+        units_weights = units.weights
+        punish_factor = self.punish_factor
+        for phrase, weight in terms_weights.items():
+            unit_weight = units_weights.get(phrase)
+            if unit_weight is not None:
+                merged[phrase] = weight + unit_weight
             else:
                 # term did not appear as a popular query: punish
-                merged[phrase] = weight * self.punish_factor
-        for phrase, weight in units.items():
+                merged[phrase] = weight * punish_factor
+        for phrase, weight in units_weights.items():
             if phrase not in merged:
                 merged[phrase] = weight
 
         if self.multi_term_bonus:
-            for phrase in list(merged):
-                parts = phrase.split()
-                if len(parts) < 2:
+            terms_get = terms_weights.get
+            units_get = units_weights.get
+            # keys are single tokens or " "-joined token phrases, so the
+            # substring probe is exactly the multi-term test; updating
+            # values in place never resizes the dict, so no key snapshot
+            for phrase in merged:
+                if " " not in phrase:
                     continue
                 bonus = sum(
-                    terms.get(part) + units.get(part) for part in parts
+                    terms_get(part, 0.0) + units_get(part, 0.0)
+                    for part in phrase.split()
                 )
                 merged[phrase] += bonus
-        return TermVector(merged)
+        return TermVector._adopt(merged)
 
     def top_concepts(self, text: str, count: int = 5) -> List[Tuple[str, float]]:
         """Highest-scoring concepts of *text* (the Section II-B example)."""

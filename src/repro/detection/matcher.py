@@ -7,11 +7,17 @@ document.  The matcher stores the inventory in a token trie (the
 document position once, extending the match term by term and keeping
 the deepest terminal node — longest-match-wins without materializing a
 candidate tuple per inventory phrase per position.
+
+When a compiled :class:`~repro.detection.kernel.FlatAutomaton` is
+attached (see :meth:`PhraseMatcher.attach_automaton`), `find_document`
+dispatches to its flat-table scan instead; the trie walk stays
+available as :meth:`find_document_trie` and remains the reference
+implementation the automaton is cross-checked against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.text.tokenized import DocumentLike, TokenizedDocument
 
@@ -27,8 +33,9 @@ class PhraseMatcher:
 
     def __init__(self, phrases: Iterable[Phrase]):
         self._trie: Dict = {}
-        self._size = 0
+        self._inventory: List[Phrase] = []
         self.max_length = 0
+        self._automaton = None
         for phrase in phrases:
             phrase = tuple(term.lower() for term in phrase)
             if not phrase:
@@ -38,12 +45,40 @@ class PhraseMatcher:
                 node = node.setdefault(term, {})
             if _END not in node:  # deduplicate the inventory at insert
                 node[_END] = phrase
-                self._size += 1
+                self._inventory.append(phrase)
                 self.max_length = max(self.max_length, len(phrase))
 
     def __len__(self) -> int:
         """Number of distinct phrases in the inventory."""
-        return self._size
+        return len(self._inventory)
+
+    def inventory(self) -> List[Phrase]:
+        """The deduplicated phrase inventory, insertion order."""
+        return list(self._inventory)
+
+    # -- compiled kernel -------------------------------------------------
+
+    def attach_automaton(self, automaton) -> None:
+        """Route `find_document` through a compiled automaton.
+
+        *automaton* must have been compiled from this matcher's
+        inventory — the phrase count is checked as a cheap guard against
+        attaching a pack built from a different inventory.  Pass None to
+        restore the pure-Python trie path.
+        """
+        if automaton is not None and automaton.phrase_count != len(self._inventory):
+            raise ValueError(
+                f"automaton compiled for {automaton.phrase_count} phrases, "
+                f"matcher holds {len(self._inventory)}"
+            )
+        self._automaton = automaton
+
+    @property
+    def automaton(self):
+        """The attached compiled automaton, or None (trie path)."""
+        return self._automaton
+
+    # -- matching --------------------------------------------------------
 
     def find(self, text: DocumentLike) -> List[Tuple[Phrase, int, int]]:
         """All (phrase, char_start, char_end) matches, document order.
@@ -58,15 +93,24 @@ class PhraseMatcher:
         self, document: TokenizedDocument
     ) -> List[Tuple[Phrase, int, int]]:
         """`find` over an already-tokenized document (no re-tokenizing)."""
-        word_tokens = document.word_tokens
+        if self._automaton is not None:
+            return self._automaton.find_phrases(document)
+        return self.find_document_trie(document)
+
+    def find_document_trie(
+        self, document: TokenizedDocument
+    ) -> List[Tuple[Phrase, int, int]]:
+        """The pure-Python trie walk (reference path for equivalence)."""
         words = document.words
+        starts = document.word_starts
+        ends = document.word_ends
         matches: List[Tuple[Phrase, int, int]] = []
         index = 0
         count = len(words)
         trie = self._trie
         while index < count:
             node = trie
-            matched: Phrase = ()
+            matched: Optional[Phrase] = None
             matched_end = index
             scan = index
             while scan < count:
@@ -78,11 +122,9 @@ class PhraseMatcher:
                 if phrase is not None:
                     matched = phrase
                     matched_end = scan
-            if not matched:
+            if matched is None:
                 index += 1
                 continue
-            start = word_tokens[index].start
-            end = word_tokens[matched_end - 1].end
-            matches.append((matched, start, end))
+            matches.append((matched, starts[index], ends[matched_end - 1]))
             index = matched_end
         return matches

@@ -6,17 +6,33 @@ multiple types, such as the term jaguar, in which case the entity is
 disambiguated" (Section II-A).  Disambiguation here is contextual: the
 type whose other dictionary entities also occur in the document wins;
 failing that, the dictionary's primary type is used.
+
+All dictionary lookups are hoisted to construction time: the detector
+compiles one record per phrase (ambiguity, context type, candidate
+types in preference order) so the per-document passes are pure dict
+probes — no `lookup`/`is_ambiguous` calls on the hot path.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import List
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.corpus.dictionaries import EditorialDictionary
 from repro.detection.base import KIND_NAMED, Detection
 from repro.detection.matcher import PhraseMatcher
+
+Phrase = Tuple[str, ...]
+
 from repro.text.tokenized import TokenizedDocument
+
+
+class _PhraseRecord(NamedTuple):
+    """Construction-time-compiled dictionary facts for one phrase key."""
+
+    context_type: Optional[str]  # counted as context when unambiguous
+    resolved_type: Optional[str]  # the type, when no disambiguation needed
+    candidates: Tuple[Tuple[str, int], ...]  # (type, -first_index) prefs
 
 
 class NamedEntityDetector:
@@ -27,6 +43,43 @@ class NamedEntityDetector:
         self._matcher = PhraseMatcher(
             tuple(phrase.split()) for phrase in dictionary.phrases()
         )
+        # Hoist every per-match dictionary call the detect loop used to
+        # make (`is_ambiguous`, `high_level_type`, `lookup`, and the
+        # `types.index` preference order) into one record per phrase.
+        self._records: Dict[str, _PhraseRecord] = {}
+        for key in dictionary.phrases():
+            types = [
+                entry.high_level_type for entry in dictionary.lookup(key)
+            ]
+            ambiguous = dictionary.is_ambiguous(key)
+            context_type = (
+                dictionary.high_level_type(key) if not ambiguous else None
+            )
+            if len(set(types)) <= 1:
+                resolved: Optional[str] = types[0]
+                candidates: Tuple[Tuple[str, int], ...] = ()
+            else:
+                resolved = None
+                firsts: Dict[str, int] = {}
+                for index, entity_type in enumerate(types):
+                    firsts.setdefault(entity_type, index)
+                candidates = tuple(
+                    (entity_type, -index) for entity_type, index in firsts.items()
+                )
+            self._records[key] = _PhraseRecord(
+                context_type=context_type or None,
+                resolved_type=resolved,
+                candidates=candidates,
+            )
+
+    def inventory(self) -> List[Phrase]:
+        """The deduplicated dictionary inventory (kernel compilation)."""
+        return self._matcher.inventory()
+
+    def attach_automaton(self, automaton) -> None:
+        """Route matching through a compiled automaton (None restores
+        the pure-Python trie path)."""
+        self._matcher.attach_automaton(automaton)
 
     def detect(self, text: str) -> List[Detection]:
         """All dictionary entities in *text* with resolved types."""
@@ -36,36 +89,32 @@ class NamedEntityDetector:
         """`detect` over a shared token stream (no re-tokenizing)."""
         text = document.text
         matches = self._matcher.find_document(document)
+        if not matches:
+            return []
+        records = self._records
         # first pass: count unambiguous types in the document as context
         context_types: Counter = Counter()
         for phrase, __, __end in matches:
-            key = " ".join(phrase)
-            if not self._dictionary.is_ambiguous(key):
-                entity_type = self._dictionary.high_level_type(key)
-                if entity_type:
-                    context_types[entity_type] += 1
+            context_type = records[" ".join(phrase)].context_type
+            if context_type is not None:
+                context_types[context_type] += 1
 
         detections: List[Detection] = []
         for phrase, start, end in matches:
-            key = " ".join(phrase)
-            entity_type = self._resolve_type(key, context_types)
+            record = records[" ".join(phrase)]
+            if record.resolved_type is not None:
+                entity_type = record.resolved_type
+            else:
+                # ambiguous: prefer the type most supported by context,
+                # dictionary order breaking ties (same key the seed's
+                # `max(types, ...)` computed per document)
+                entity_type = max(
+                    record.candidates,
+                    key=lambda pair: (context_types.get(pair[0], 0), pair[1]),
+                )[0]
             detections.append(
-                Detection(
-                    text=text[start:end],
-                    start=start,
-                    end=end,
-                    kind=KIND_NAMED,
-                    entity_type=entity_type,
-                    terms=phrase,
+                Detection.make(
+                    text[start:end], start, end, KIND_NAMED, entity_type, phrase
                 )
             )
         return detections
-
-    def _resolve_type(self, phrase: str, context_types: Counter) -> str:
-        entries = self._dictionary.lookup(phrase)
-        types = [entry.high_level_type for entry in entries]
-        if len(set(types)) <= 1:
-            return types[0]
-        # ambiguous: prefer the candidate type most supported by context
-        best = max(types, key=lambda t: (context_types.get(t, 0), -types.index(t)))
-        return best

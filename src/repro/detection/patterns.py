@@ -30,10 +30,29 @@ _PHONE_RE = re.compile(
     re.VERBOSE,
 )
 
+_DIGIT_RE = re.compile(r"[0-9]")
+
+
+def _has_email_marker(text: str) -> bool:
+    return "@" in text
+
+
+def _has_url_marker(text: str) -> bool:
+    return "://" in text or "www." in text
+
+
+def _has_digit(text: str) -> bool:
+    return _DIGIT_RE.search(text) is not None
+
+
+# Each gate is a necessary condition of its regex (every email match
+# contains "@", every URL match "://" or "www.", every phone match a
+# digit), so skipping a scan when the gate fails cannot drop a match —
+# it just spares prose documents three full regex passes.
 _PATTERNS = (
-    ("email", _EMAIL_RE),
-    ("url", _URL_RE),
-    ("phone", _PHONE_RE),
+    ("email", _EMAIL_RE, _has_email_marker),
+    ("url", _URL_RE, _has_url_marker),
+    ("phone", _PHONE_RE, _has_digit),
 )
 
 
@@ -43,7 +62,9 @@ class PatternDetector:
     def detect(self, text: str) -> List[Detection]:
         """All pattern entities in *text*, in document order."""
         detections: List[Detection] = []
-        for pattern_type, regex in _PATTERNS:
+        for pattern_type, regex, gate in _PATTERNS:
+            if not gate(text):
+                continue
             for match in regex.finditer(text):
                 detections.append(
                     Detection(

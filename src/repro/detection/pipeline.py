@@ -101,7 +101,22 @@ def deduplicate(detections: List[Detection]) -> List[Detection]:
 
 
 class ShortcutsPipeline:
-    """End-to-end detection: HTML -> candidates with baseline scores."""
+    """End-to-end detection: HTML -> candidates with baseline scores.
+
+    *kernel* selects the per-document execution path:
+
+    * ``"auto"`` (default) — compile a
+      :class:`~repro.detection.kernel.DetectionKernel` from the live
+      inventories the first time a document is processed, then run the
+      compiled path;
+    * ``"off"`` / ``None`` — pure-Python path (the trie walk, the
+      Porter stemmer pass, the lexicon segmentation);
+    * a :class:`~repro.detection.kernel.DetectionKernel` — attach a
+      prebuilt kernel (typically loaded from a data pack).
+
+    Both paths produce byte-identical output; the equivalence is
+    enforced by ``benchmarks/bench_hotpath.py`` and the automaton tests.
+    """
 
     def __init__(
         self,
@@ -109,11 +124,82 @@ class ShortcutsPipeline:
         scorer: ConceptVectorScorer,
         named_detector: Optional[NamedEntityDetector] = None,
         pattern_detector: Optional[PatternDetector] = None,
+        kernel="auto",
     ):
         self._concepts = concept_detector
         self._scorer = scorer
         self._named = named_detector
         self._patterns = pattern_detector or PatternDetector()
+        self._kernel = None
+        self._kernel_auto = False
+        if kernel == "auto":
+            self._kernel_auto = True
+        elif kernel not in (None, "off"):
+            self.attach_kernel(kernel)
+
+    # -- compiled kernel -------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The attached compiled kernel, or None (pure-Python path)."""
+        return self._kernel
+
+    def compile_kernel(self, vocab_terms=(), stem_of=None):
+        """Compile a kernel from the live inventories and attach it.
+
+        *vocab_terms*/*stem_of* seed the vocabulary and stem table
+        (typically a corpus vocabulary with its precomputed stems);
+        phrase and unit tokens the vocabulary is missing are folded in
+        by the builder.  Returns the attached kernel.
+        """
+        from repro.detection.kernel import DetectionKernel
+
+        if not vocab_terms:
+            doc_frequency = getattr(self._scorer, "_doc_frequency", None)
+            if doc_frequency is not None:
+                vocab_terms = list(getattr(doc_frequency, "_doc_freq", {}))
+        kernel = DetectionKernel.build(
+            concept_phrases=self._concepts.inventory(),
+            named_phrases=(
+                self._named.inventory() if self._named is not None else None
+            ),
+            lexicon=self._scorer.lexicon,
+            vocab_terms=vocab_terms,
+            stem_of=stem_of,
+        )
+        self.attach_kernel(kernel)
+        return kernel
+
+    def attach_kernel(self, kernel) -> None:
+        """Attach (or with None, detach) a compiled detection kernel."""
+        # The views route matching through the kernel's shared combined
+        # scan (one pass serves both detectors + unit segmentation).
+        self._concepts.attach_automaton(
+            kernel.concepts_view if kernel is not None else None
+        )
+        if self._named is not None:
+            self._named.attach_automaton(
+                kernel.named_view if kernel is not None else None
+            )
+        self._scorer.attach_kernel(kernel)
+        self._kernel = kernel
+        self._kernel_auto = False
+
+    def _ensure_kernel(self) -> None:
+        if self._kernel_auto:
+            self.compile_kernel()
+
+    def stem_document(self, document: TokenizedDocument):
+        """The stemmer pass for *document* (table-driven when compiled).
+
+        This is the runtime service's stemmer stage: with a kernel it
+        runs off the precomputed vocab->stem table (Porter only for OOV
+        words); without one it is exactly ``document.stemmed_terms``.
+        """
+        self._ensure_kernel()
+        if self._kernel is not None:
+            return self._kernel.stem_document(document)
+        return document.stemmed_terms
 
     def process(self, document: DocumentLike, is_html: bool = False) -> AnnotatedDocument:
         """Run the full pipeline on *document* (a string or shared tokens)."""
@@ -128,6 +214,7 @@ class ShortcutsPipeline:
     def process_document(self, document: TokenizedDocument) -> AnnotatedDocument:
         """The single-pass pipeline: every stage reads *document*'s
         shared token stream; the document is tokenized at most once."""
+        self._ensure_kernel()
         text = document.text
 
         candidates: List[Detection] = []

@@ -45,11 +45,18 @@ from repro.features.relevance import (
     RelevantKeywordMiner,
     build_stemmed_df,
 )
+from repro.detection.concepts import detectable_concept_phrases
+from repro.detection.kernel import DetectionKernel
 from repro.offline.corpus import TokenizedCorpus, normalize_documents
+from repro.text.tokenizer import words_lower
 from repro.offline.mining import VectorizedKeywordMiner
 from repro.querylog.log import QueryLog
 from repro.querylog.units import UnitMiner, VectorizedUnitMiner
-from repro.runtime.datapack import save_interestingness_store, save_relevance_store
+from repro.runtime.datapack import (
+    save_detection_kernel,
+    save_interestingness_store,
+    save_relevance_store,
+)
 from repro.runtime.store import QuantizedInterestingnessStore
 from repro.runtime.tid import PackedRelevanceStore
 from repro.search.engine import SearchEngine
@@ -59,6 +66,7 @@ from repro.search.suggestions import SuggestionService
 
 INTERESTINGNESS_PACK = "interestingness.rpak"
 RELEVANCE_PACK = "relevance.rpak"
+DETECTION_PACK = "detection.rpak"
 MANIFEST = "manifest.json"
 
 
@@ -323,9 +331,55 @@ class OfflineBuilder:
             "quantize", len(phrases), "concepts", _quantize
         )
 
+        def _kernel() -> DetectionKernel:
+            # Compile the detection kernel from the same inventories the
+            # runtime detectors hold.  Inventories are sorted so the
+            # automaton layout — and therefore the pack bytes — never
+            # depend on set/hash iteration order; matching semantics are
+            # inventory-order-independent either way.
+            detectable = sorted(
+                detectable_concept_phrases(
+                    (tuple(phrase.split()) for phrase in phrases),
+                    lexicon,
+                    query_log,
+                )
+            )
+            named = sorted(tuple(key.split()) for key in dictionary.phrases())
+            stem_of = None
+            if corpus is not None:
+                vocab_terms: Sequence[str] = corpus.terms
+                stem_terms = corpus.stem_terms
+                stem_of = {
+                    term: stem_terms[sid]
+                    for term, sid in zip(
+                        corpus.terms, corpus.stem_ids.tolist()
+                    )
+                }
+            else:
+                # seed mode has no shared tokenized corpus; re-derive
+                # the identical first-seen vocabulary (and let the stem
+                # table fall back to `stem` per term) so seed and fast
+                # builds keep producing byte-identical packs
+                seen: Dict[str, None] = {}
+                for __, text in docs:
+                    for token in words_lower(text):
+                        if token not in seen:
+                            seen[token] = None
+                vocab_terms = list(seen)
+            return DetectionKernel.build(
+                concept_phrases=detectable,
+                named_phrases=named,
+                lexicon=lexicon,
+                vocab_terms=vocab_terms,
+                stem_of=stem_of,
+            )
+
+        kernel = clock.run("kernel", len(phrases), "concepts", _kernel)
+
         pack_paths = {
             "interestingness": str(out / INTERESTINGNESS_PACK),
             "relevance": str(out / RELEVANCE_PACK),
+            "detection": str(out / DETECTION_PACK),
         }
         clock.run(
             "pack",
@@ -336,6 +390,7 @@ class OfflineBuilder:
                     interestingness_store, pack_paths["interestingness"]
                 ),
                 save_relevance_store(relevance_store, pack_paths["relevance"]),
+                save_detection_kernel(kernel, pack_paths["detection"]),
             ),
         )
 

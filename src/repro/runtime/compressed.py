@@ -212,6 +212,10 @@ class CompressedRelevanceStore:
     # -- RelevanceScorer protocol ------------------------------------------
 
     def context_stems(self, text: DocumentLike) -> np.ndarray:
+        # Kernel-stamped documents map token ids straight to TIDs.
+        kernel = getattr(text, "_kernel", None)
+        if kernel is not None:
+            return kernel.tid_context(text, self._tids)
         return self._tids.tid_context(stemmed_terms(text))
 
     def score(self, phrase: str, context) -> float:

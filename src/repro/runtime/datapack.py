@@ -349,6 +349,102 @@ def load_relevance_store(
     )
 
 
+# -- compiled detection kernel ----------------------------------------------------
+
+_AUTOMATON_COLUMNS = ("delta", "fail", "out_len", "emits", "out_next", "sym")
+
+
+def save_detection_kernel(kernel, path: PathLike) -> None:
+    """Persist a compiled :class:`~repro.detection.kernel.DetectionKernel`.
+
+    Layout (v2, so every column is 8-byte aligned for zero-copy views):
+    one ``<i4`` section per automaton column under a ``concepts_`` /
+    ``named_`` / ``units_`` prefix (plus ``<f8`` ``units_out_score``),
+    the ``<u1`` stem-flags column, the ``<f8`` single-term unit scores,
+    and a JSON meta section carrying the vocabulary, the stem strings,
+    and each automaton's phrase count.
+    """
+    automata = {}
+    sections: Dict[str, bytes] = {"kind": b"detection"}
+    for prefix in ("concepts", "named", "units"):
+        automaton = getattr(kernel, prefix)
+        if automaton is None:
+            continue
+        columns = automaton.columns()
+        automata[prefix] = {"phrase_count": automaton.phrase_count}
+        for column in _AUTOMATON_COLUMNS:
+            sections[f"{prefix}_{column}"] = np.ascontiguousarray(
+                columns[column], dtype="<i4"
+            ).tobytes()
+        if "out_score" in columns:
+            sections[f"{prefix}_out_score"] = np.ascontiguousarray(
+                columns["out_score"], dtype="<f8"
+            ).tobytes()
+    sections["meta"] = _json_bytes(
+        {
+            "vocab": kernel.interner.terms,
+            "stems": kernel.stem_table.stems,
+            "automata": automata,
+        }
+    )
+    sections["stem_flags"] = bytes(kernel.stem_table.flags)
+    sections["unit_single_scores"] = np.ascontiguousarray(
+        kernel.unit_single_scores, dtype="<f8"
+    ).tobytes()
+    write_pack(path, sections)
+
+
+def load_detection_kernel(path: PathLike):
+    """Load a compiled detection kernel pack.
+
+    The flat columns are viewed with ``np.frombuffer`` (the v2 8-byte
+    alignment makes that valid in place) and materialized into the
+    kernel's Python scan tables — list indexing beats numpy scalar
+    indexing in the token loop — so the pack is read eagerly rather
+    than kept mapped: nothing would reference the map after load.
+    """
+    from repro.detection.kernel import (
+        DetectionKernel,
+        FlatAutomaton,
+        StemTable,
+        TokenInterner,
+    )
+
+    sections = read_pack(path)
+    if _kind_of(sections) != b"detection":
+        raise ValueError("pack does not contain a detection kernel")
+    meta = _json_load(sections["meta"])
+    interner = TokenInterner(meta["vocab"])
+    stem_table = StemTable(bytes(sections["stem_flags"]), meta["stems"])
+    automata = {}
+    for prefix, info in meta["automata"].items():
+        columns = {
+            column: np.frombuffer(sections[f"{prefix}_{column}"], dtype="<i4")
+            for column in _AUTOMATON_COLUMNS
+        }
+        score_payload = sections.get(f"{prefix}_out_score")
+        automata[prefix] = FlatAutomaton(
+            interner,
+            phrase_count=int(info["phrase_count"]),
+            out_score=(
+                None
+                if score_payload is None
+                else np.frombuffer(score_payload, dtype="<f8")
+            ),
+            **columns,
+        )
+    return DetectionKernel(
+        interner,
+        stem_table,
+        concepts=automata.get("concepts"),
+        named=automata.get("named"),
+        units=automata.get("units"),
+        unit_single_scores=np.frombuffer(
+            sections["unit_single_scores"], dtype="<f8"
+        ),
+    )
+
+
 # -- trained ranking model --------------------------------------------------------
 
 

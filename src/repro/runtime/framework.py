@@ -171,6 +171,31 @@ class TimingStats:
         documents = self.documents
         return self.detections / documents if documents else 0.0
 
+    def record_document(
+        self,
+        stem_seconds: float,
+        detection_seconds: float,
+        ranker_seconds: float,
+        feature_seconds: float,
+        document_bytes: int,
+        detections: int,
+    ) -> None:
+        """Accumulate one document's timings via shard-local increments.
+
+        Attribute ``+=`` on this class costs a locked merge-read plus a
+        locked zero-and-set across every shard per field; the hot path
+        calls this instead — seven lock-free ``Counter.inc`` bumps.
+        """
+        counters = self._counters
+        counters["stemmer_seconds"].inc(stem_seconds)
+        counters["detection_seconds"].inc(detection_seconds)
+        counters["ranker_seconds"].inc(ranker_seconds)
+        counters["feature_seconds"].inc(feature_seconds)
+        counters["bytes_processed"].inc(document_bytes)
+        counters["documents"].inc()
+        if detections:
+            counters["detections"].inc(detections)
+
     def merge(self, other: "TimingStats") -> "TimingStats":
         """Accumulate *other* into this stats object (returns self).
 
@@ -371,7 +396,10 @@ class RankerService:
         # The Stemmer component's pass: tokenize once, stem once.  The
         # result stays cached on `document` and becomes the relevance
         # context of the ranking stage below — timed work is real work.
-        document.stemmed_terms
+        # Routed through the pipeline so a compiled detection kernel's
+        # vocab->stem table serves the pass (Porter only for OOV words);
+        # without a kernel this is exactly `document.stemmed_terms`.
+        self._pipeline.stem_document(document)
         stem_done = time.perf_counter()
 
         annotated = self._pipeline.process_document(document)
@@ -405,13 +433,14 @@ class RankerService:
         rank_seconds = rank_done - detect_done
         document_bytes = len(text.encode("utf-8"))
 
-        stats.stemmer_seconds += stem_seconds
-        stats.ranker_seconds += rank_done - stem_done
-        stats.detection_seconds += detect_seconds
-        stats.feature_seconds += feature_seconds
-        stats.bytes_processed += document_bytes
-        stats.documents += 1
-        stats.detections += len(ranked)
+        stats.record_document(
+            stem_seconds,
+            detect_seconds,
+            rank_done - stem_done,
+            feature_seconds,
+            document_bytes,
+            len(ranked),
+        )
 
         self._m_stage["stemmer"].observe(stem_seconds)
         self._m_stage["detect"].observe(detect_seconds)

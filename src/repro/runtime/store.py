@@ -54,6 +54,7 @@ class QuantizedInterestingnessStore:
         self._matrix = np.zeros((0, FIELD_COUNT), dtype=np.uint16)
         self._staged: Dict[str, np.ndarray] = {}
         self._backing = None  # keeps a mapped data-pack alive
+        self._version = 0  # bumped on every row write (cache invalidation)
         self._m_lookups = get_registry().counter(
             "interestingness_lookups_total",
             help="quantized interestingness vector lookups",
@@ -80,6 +81,7 @@ class QuantizedInterestingnessStore:
         else:
             row[_TYPE_FIELD] = 1 + TAXONOMY_TYPES.index(vector.high_level_type)
         self._staged[vector.phrase] = row
+        self._version += 1
 
     def _ensure_matrix(self) -> np.ndarray:
         if self._staged:
@@ -101,6 +103,17 @@ class QuantizedInterestingnessStore:
                 )
             self._staged = {}
         return self._matrix
+
+    @property
+    def feature_version(self) -> int:
+        """Monotonic content version.
+
+        Stored rows never change value between versions, so any
+        consumer caching derived per-phrase data (e.g. the ranker's
+        assembled numeric vectors) can key its cache on this and stay
+        exact across ``add`` calls.
+        """
+        return self._version
 
     def extract(self, phrase: str) -> InterestingnessVector:
         """Dequantized feature vector (the live-extractor protocol)."""

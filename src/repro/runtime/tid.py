@@ -267,7 +267,15 @@ class PackedRelevanceStore:
     # -- RelevanceScorer protocol ------------------------------------------
 
     def context_stems(self, text: DocumentLike) -> np.ndarray:
-        """The sorted TID array of a document (stemmed, stopword-free)."""
+        """The sorted TID array of a document (stemmed, stopword-free).
+
+        A document stamped by a compiled detection kernel skips the stem
+        strings entirely: the kernel maps interned token ids straight to
+        TIDs (value-identical, see ``DetectionKernel.tid_context``).
+        """
+        kernel = getattr(text, "_kernel", None)
+        if kernel is not None:
+            return kernel.tid_context(text, self._tids)
         return self._tids.tid_context(stemmed_terms(text))
 
     def _sum_matched(self, values: np.ndarray) -> float:

@@ -200,6 +200,23 @@ def stem(word: str) -> str:
 
     The runtime framework stems every document term on the hot path
     (Section VI); natural-language term distributions are Zipfian, so a
-    bounded cache removes nearly all repeated work.
+    bounded cache removes nearly all repeated work.  With a compiled
+    detection kernel attached this is the OOV fallback only — known
+    vocabulary words come from the kernel's precomputed stem table.
+
+    ``lru_cache`` is thread-safe (its bookkeeping runs under an
+    internal lock), so concurrent ``process_batch`` workers share it
+    without corruption; use :func:`stem_cache_info` /
+    :func:`clear_stem_cache` to observe or reset it.
     """
     return _DEFAULT_STEMMER.stem(word.lower())
+
+
+def stem_cache_info():
+    """hits/misses/maxsize/currsize of the bounded stem memo."""
+    return stem.cache_info()
+
+
+def clear_stem_cache() -> None:
+    """Drop the stem memo (test isolation; never required at runtime)."""
+    stem.cache_clear()

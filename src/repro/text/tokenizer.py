@@ -27,6 +27,15 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
+# The word branch of _TOKEN_RE alone.  For ASCII text, its matches are
+# exactly the _TOKEN_RE matches that pass the is-word filter: the number
+# and \S branches can never consume a letter (so no word is hidden
+# inside another token), and a match of the word branch is maximal
+# either way.  Non-ASCII text breaks the equivalence (a single non-ASCII
+# letter tokenizes via \S yet passes isalpha), so fast paths gate on
+# `str.isascii`.
+_WORD_RE = re.compile(r"[A-Za-z]+(?:'[A-Za-z]+)?")
+
 # Sentence terminators followed by whitespace and an upper-case/digit start.
 _SENTENCE_BOUNDARY_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'(])")
 
@@ -106,6 +115,53 @@ def tokenize(text: str) -> List[Token]:
     ]
 
 
+def word_spans(text: str):
+    """``(words, starts, ends)`` for word tokens only, one regex pass.
+
+    The words are exactly ``tokenize_lower(text)`` and the offsets are
+    exactly the word tokens' ``start``/``end`` spans, but no
+    :class:`Token` objects are materialized — this is the single-pass
+    hot path's tokenization: the lists feed the shared
+    ``TokenizedDocument`` views and the compiled detection kernels.
+    Counts as one ``tokenize`` invocation.
+    """
+    next(_counter)
+    if not text.isascii():
+        words: List[str] = []
+        starts: List[int] = []
+        ends: List[int] = []
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group()
+            if token[:1].isalpha():
+                words.append(token.lower())
+                starts.append(match.start())
+                ends.append(match.end())
+        return words, starts, ends
+    # ASCII fast path: lower-casing the whole text first is one C pass,
+    # is 1:1 length-preserving for ASCII (offsets unchanged), and maps
+    # letters to letters (the match set is unchanged), so findall on the
+    # lowered text yields the lower-cased words directly.  Offsets come
+    # from `str.find` resuming after the previous word: the gap between
+    # consecutive word matches contains no letters (any letter would
+    # itself be part of a word match), and every word starts with a
+    # letter, so the first occurrence at/after the previous end IS the
+    # match position.
+    lowered = text.lower()
+    words = _WORD_RE.findall(lowered)
+    starts = []
+    ends = []
+    append_start = starts.append
+    append_end = ends.append
+    find = lowered.find
+    position = 0
+    for word in words:
+        position = find(word, position)
+        append_start(position)
+        position += len(word)
+        append_end(position)
+    return words, starts, ends
+
+
 def tokenize_lower(text: str) -> List[str]:
     """Lower-cased word tokens only (punctuation dropped).
 
@@ -124,6 +180,9 @@ def words_lower(text: str) -> List[str]:
     offline-build hot path, where character offsets are never needed.
     """
     next(_counter)
+    if text.isascii():
+        # lower-first: same matches, already lower-cased (see word_spans)
+        return _WORD_RE.findall(text.lower())
     return [match.lower() for match in _TOKEN_RE.findall(text) if match[:1].isalpha()]
 
 

@@ -102,10 +102,15 @@ class DocumentFrequencyTable:
 
     def tf_idf(self, counts: Mapping[str, int]) -> Dict[str, float]:
         """Raw (un-normalized) tf*idf scores for a term-count mapping."""
-        return {
-            term: count * self.idf(term)
-            for term, count in counts.items()
-        }
+        cache = self._idf_cache
+        try:
+            # all-hits fast path: one comprehension, no per-term probes.
+            # idf() memoizes, so after warm-up misses are the exception.
+            return {term: count * cache[term] for term, count in counts.items()}
+        except KeyError:
+            pass
+        idf = self.idf
+        return {term: count * idf(term) for term, count in counts.items()}
 
     @classmethod
     def from_documents(cls, documents: Iterable[Iterable[str]]) -> "DocumentFrequencyTable":
@@ -130,6 +135,18 @@ class TermVector:
         # construction (every shaping operation returns a new vector),
         # so the norm never needs recomputing once known.
         self._norm: float = -1.0
+
+    @classmethod
+    def _adopt(cls, weights: Dict[str, float]) -> "TermVector":
+        """Wrap a freshly built dict without the defensive copy.
+
+        Internal: the caller must hand over sole ownership of *weights*
+        (the vector treats it as immutable from here on).
+        """
+        self = cls.__new__(cls)
+        self.weights = weights
+        self._norm = -1.0
+        return self
 
     def __len__(self) -> int:
         return len(self.weights)
@@ -179,6 +196,48 @@ class TermVector:
                 if weight >= threshold
             }
         )
+
+    def shaped(
+        self,
+        punish_threshold: float,
+        punish_factor: float,
+        prune_threshold: float,
+        normalize: bool = True,
+    ) -> "TermVector":
+        """``normalized()`` (optional) → ``punished_below`` →
+        ``pruned_below`` fused into one pass.
+
+        Applies the exact per-entry float operations of the chained
+        methods in the same order (divide, conditionally multiply,
+        filter), so the result is float-identical — it just skips the
+        intermediate dict builds and the two ``any()`` pre-scans.
+        """
+        weights = self.weights
+        if not weights:
+            return TermVector()
+        out: Dict[str, float] = {}
+        if normalize:
+            peak = max(weights.values())
+            if peak <= 0:
+                # normalized() pins every weight to literal 0.0 here
+                value = 0.0 * punish_factor if 0.0 < punish_threshold else 0.0
+                if value >= prune_threshold:
+                    for term in weights:
+                        out[term] = value
+                return TermVector._adopt(out)
+            for term, weight in weights.items():
+                value = weight / peak
+                if value < punish_threshold:
+                    value *= punish_factor
+                if value >= prune_threshold:
+                    out[term] = value
+            return TermVector._adopt(out)
+        for term, value in weights.items():
+            if value < punish_threshold:
+                value *= punish_factor
+            if value >= prune_threshold:
+                out[term] = value
+        return TermVector._adopt(out)
 
     def top(self, count: int) -> List[Tuple[str, float]]:
         """Highest-weighted *count* entries, ties broken alphabetically."""

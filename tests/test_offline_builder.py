@@ -85,7 +85,7 @@ class TestBuilder:
         report = build(world, tmp_path, "report", fast=True, workers=1)
         assert [stage.name for stage in report.stages] == [
             "corpus", "index", "units", "interestingness",
-            "relevance", "quantize", "pack",
+            "relevance", "quantize", "kernel", "pack",
         ]
         assert report.total_seconds == pytest.approx(
             sum(stage.seconds for stage in report.stages)
@@ -96,7 +96,7 @@ class TestBuilder:
         assert report.concepts_per_second >= 0
         manifest = json.loads((tmp_path / "report" / MANIFEST).read_text())
         assert manifest["pack_sha256"] == report.pack_sha256
-        assert len(manifest["stages"]) == 7
+        assert len(manifest["stages"]) == 8
 
     def test_manifest_bakes_drift_baseline(self, world, tmp_path):
         from repro.obs.quality import DriftBaseline, load_baseline
