@@ -23,6 +23,7 @@ DEFAULT_SNAPSHOTS = (
     os.path.join(_HERE, "BENCH_store.json"),
     os.path.join(_HERE, "BENCH_offline.json"),
     os.path.join(_HERE, "BENCH_obs.json"),
+    os.path.join(_HERE, "BENCH_profile.json"),
 )
 
 # snapshot basename -> dotted paths of the boolean flags it must carry
@@ -53,6 +54,11 @@ REQUIRED_FLAGS = {
         "equivalence.explain_order_identical",
         "equivalence.overhead_within_bar",
         "equivalence.quality_overhead_within_bar",
+    ),
+    "BENCH_profile.json": (
+        "equivalence.identical_with_profiler",
+        "equivalence.stage_attribution_present",
+        "equivalence.overhead_within_bar",
     ),
 }
 

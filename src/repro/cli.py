@@ -16,13 +16,20 @@ Commands:
   registry (Prometheus text or JSON snapshot); ``--snapshot FILE`` /
   ``--url URL`` render metrics captured by another process instead;
 * ``serve`` — start the telemetry HTTP server (``/metrics``,
-  ``/healthz``, ``/readyz``, ``POST /explain``, ``/traces/recent``)
-  over a live ranking service, with CTR/churn quality monitoring and
-  feature-drift detection attached.
+  ``/healthz``, ``/readyz``, ``POST /explain``, ``/traces/recent``,
+  ``/debug/profile``, ``/debug/heap``, ``/debug/gc``) over a live
+  ranking service, with CTR/churn quality monitoring and
+  feature-drift detection attached;
+* ``profile <command ...>`` — run any other repro command under the
+  sampling stack profiler and print/write its collapsed stacks
+  (``flamegraph.pl`` format).
 
 ``rank``, ``build-pack``, ``stats``, and ``serve`` accept
 ``--trace-out PATH`` to write sampled request/build traces as JSON
 lines (``serve --trace-max-bytes`` adds size-based rotation).
+``rank``, ``build-pack``, and ``serve`` accept ``--profile-out PATH``
+(with ``--profile-hz``) to run under the stack profiler and write the
+collapsed stacks on exit.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -103,6 +111,46 @@ def _configure_observability(args: argparse.Namespace):
         else None
     )
     return configure(enabled=True, sample_every=sample_every, sink=sink)
+
+
+@contextmanager
+def _maybe_profiler(args: argparse.Namespace):
+    """Run the command body under a StackSampler when --profile-out asks.
+
+    On exit the collapsed stacks (flamegraph.pl format) land at the
+    given path and a one-line summary goes to stderr — stdout stays
+    reserved for the command's own output.
+    """
+    out = getattr(args, "profile_out", None)
+    if not out:
+        yield None
+        return
+    from repro.obs.profile import StackSampler
+
+    sampler = StackSampler(hz=getattr(args, "profile_hz", None) or 97)
+    sampler.start()
+    try:
+        yield sampler
+    finally:
+        sampler.stop()
+        sampler.write_collapsed(out)
+        print(
+            f"profile: {sampler.sample_count} samples at {sampler.hz:g} hz "
+            f"over {sampler.duration_seconds:.2f}s -> {out}",
+            file=sys.stderr,
+        )
+
+
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="run under the sampling profiler and write collapsed "
+             "stacks (flamegraph.pl format) to PATH on exit",
+    )
+    parser.add_argument(
+        "--profile-hz", type=float, default=97, metavar="HZ",
+        help="stack-sampler frequency for --profile-out (default 97)",
+    )
 
 
 def _build_env(world: WorldConfig, quiet: bool = False) -> Environment:
@@ -212,19 +260,20 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         print(f"cannot read {args.file}: {error}", file=sys.stderr)
         return 1
     __, tracer = _configure_observability(args)
-    env = _build_env(_DEMO_WORLD)
-    dataset = collect_dataset(env, args.stories)
-    experiment = RankingExperiment(env, dataset)
-    ranker = train_combined_ranker(env, experiment)
-    with tracer.trace("rank") as trace:
-        with tracer.span("detect"):
-            annotated = env.pipeline.process(text, is_html=args.html)
-        with tracer.span("rank"):
-            ranked = ranker.rank_document(annotated)
-        if trace.sampled:
-            trace.meta.update(
-                {"bytes": len(text), "detections": len(ranked)}
-            )
+    with _maybe_profiler(args):
+        env = _build_env(_DEMO_WORLD)
+        dataset = collect_dataset(env, args.stories)
+        experiment = RankingExperiment(env, dataset)
+        ranker = train_combined_ranker(env, experiment)
+        with tracer.trace("rank") as trace:
+            with tracer.span("detect"):
+                annotated = env.pipeline.process(text, is_html=args.html)
+            with tracer.span("rank"):
+                ranked = ranker.rank_document(annotated)
+            if trace.sampled:
+                trace.meta.update(
+                    {"bytes": len(text), "detections": len(ranked)}
+                )
     if not ranked:
         print("no detectable concepts in the input "
               "(the demo world only knows its own synthetic inventory)")
@@ -256,14 +305,15 @@ def _cmd_build_pack(args: argparse.Namespace) -> int:
         f"{'seed' if args.seed_path else 'fast'} pipeline) ...",
         flush=True,
     )
-    report = OfflineBuilder(config).build(
-        world.web_corpus,
-        query_log,
-        phrases,
-        args.out,
-        dictionary=world.dictionary,
-        wikipedia=world.wikipedia,
-    )
+    with _maybe_profiler(args):
+        report = OfflineBuilder(config).build(
+            world.web_corpus,
+            query_log,
+            phrases,
+            args.out,
+            dictionary=world.dictionary,
+            wikipedia=world.wikipedia,
+        )
     for stage in report.stages:
         print(
             f"  {stage.name:<16s} {stage.seconds:8.3f}s  "
@@ -455,17 +505,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         Path(args.port_file).write_text(f"{server.port}\n")
     print(f"serving telemetry on {server.url}", flush=True)
     print(
-        "endpoints: GET /metrics /healthz /readyz /traces/recent, "
-        "POST /explain",
+        "endpoints: GET /metrics /healthz /readyz /traces/recent "
+        "/debug/profile /debug/heap /debug/gc, POST /explain",
         flush=True,
     )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down", flush=True)
-    finally:
-        server.stop()
+    with _maybe_profiler(args):
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down", flush=True)
+        finally:
+            server.stop()
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile [--hz N] [--out PATH] -- <command ...>``.
+
+    Re-enters :func:`main` with the wrapped command under a running
+    :class:`StackSampler`, then prints the hottest collapsed stacks to
+    stderr so the profiled command's stdout stays clean.
+    """
+    command = list(args.command)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("profile: no command given (try: repro profile -- "
+              "rank FILE)", file=sys.stderr)
+        return 2
+    if command[0] == "profile":
+        print("profile: refusing to profile itself", file=sys.stderr)
+        return 2
+    from repro.obs.profile import StackSampler
+
+    sampler = StackSampler(hz=args.hz)
+    sampler.start()
+    try:
+        try:
+            status = main(command)
+        except SystemExit as exc:  # argparse errors inside the command
+            code = exc.code
+            status = code if isinstance(code, int) else (0 if code is None
+                                                         else 1)
+    finally:
+        sampler.stop()
+    if args.out:
+        sampler.write_collapsed(args.out)
+    print(
+        f"profile: {sampler.sample_count} samples at {sampler.hz:g} hz "
+        f"over {sampler.duration_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    for row in sampler.top_stacks(limit=args.top):
+        print(f"  {row['samples']:6d}  {row['stack']}", file=sys.stderr)
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -514,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="write sampled traces as JSON lines to PATH",
     )
+    _add_profile_flags(rank)
     rank.set_defaults(handler=_cmd_rank)
 
     build_pack = commands.add_parser(
@@ -539,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="write the sampled build trace as JSON lines to PATH",
     )
+    _add_profile_flags(build_pack)
     build_pack.set_defaults(handler=_cmd_build_pack)
 
     stats = commands.add_parser(
@@ -628,7 +723,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="rotate the --trace-out file before it exceeds BYTES "
              "(keeps 3 rotated generations)",
     )
+    _add_profile_flags(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run another repro command under the sampling profiler",
+        description=(
+            "Runs `repro <command ...>` in this process under a "
+            "StackSampler and prints the hottest collapsed stacks when "
+            "it finishes.  Example: repro profile -- rank story.txt"
+        ),
+    )
+    profile.add_argument(
+        "--hz", type=float, default=97,
+        help="stack-sampler frequency (default 97)",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write collapsed stacks (flamegraph.pl format) to PATH",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10,
+        help="collapsed stacks to print (default 10)",
+    )
+    profile.add_argument(
+        "command", nargs=argparse.REMAINDER,
+        help="the repro command to profile (prefix with -- to "
+             "separate its flags from profile's own)",
+    )
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 

@@ -40,7 +40,9 @@ from repro.obs.registry import (
     NullCounter,
     NullGauge,
     NullHistogram,
+    escape_label_value,
     render_snapshot,
+    unescape_label_value,
 )
 from repro.obs.trace import (
     NULL_TRACE,
@@ -48,6 +50,15 @@ from repro.obs.trace import (
     Span,
     Trace,
     Tracer,
+    active_stages,
+    mark_stage,
+    set_stage_tracking,
+    stage_tracking_enabled,
+)
+from repro.obs.profile import (  # noqa: E402 - needs trace/registry first
+    GcMonitor,
+    HeapProfiler,
+    StackSampler,
 )
 
 __all__ = [
@@ -55,6 +66,8 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "Counter",
     "Gauge",
+    "GcMonitor",
+    "HeapProfiler",
     "Histogram",
     "JsonLinesTraceSink",
     "MetricsRegistry",
@@ -63,14 +76,21 @@ __all__ = [
     "NullGauge",
     "NullHistogram",
     "Span",
+    "StackSampler",
     "Trace",
     "Tracer",
+    "active_stages",
     "configure",
+    "escape_label_value",
     "get_registry",
     "get_tracer",
+    "mark_stage",
     "render_snapshot",
     "set_registry",
+    "set_stage_tracking",
     "set_tracer",
+    "stage_tracking_enabled",
+    "unescape_label_value",
 ]
 
 _STATE_LOCK = threading.Lock()

@@ -42,7 +42,9 @@ __all__ = [
     "NullCounter",
     "NullGauge",
     "NullHistogram",
+    "escape_label_value",
     "render_snapshot",
+    "unescape_label_value",
 ]
 
 # Prometheus-style inclusive upper bounds (an implicit +Inf bucket is
@@ -234,11 +236,16 @@ class Histogram:
         return pairs
 
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the q-quantile (0 < q <= 1)."""
+        """Upper-bound estimate of the q-quantile (0 <= q <= 1).
+
+        An empty histogram has no quantiles: the answer is ``nan``
+        ("no data"), never 0.0 — a zero reads as "zero latency" on a
+        dashboard, which is the opposite of "we have seen nothing".
+        """
         counts = self._cells.merged()[:-1]
         total = counts.sum()
         if total <= 0:
-            return 0.0
+            return float("nan")
         target = q * total
         running = 0.0
         for index, count in enumerate(counts.tolist()):
@@ -308,7 +315,7 @@ class NullHistogram:
         return []
 
     def quantile(self, q: float) -> float:
-        return 0.0
+        return float("nan")  # a null histogram never has data
 
     def _reset(self) -> None:
         pass
@@ -330,7 +337,12 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True):
         self._enabled = bool(enabled)
-        self._lock = threading.Lock()
+        # RLock, not Lock: a GC callback (GcMonitor) can fire on an
+        # allocation made *while holding* this lock — e.g. inside
+        # _get_or_create — and the callback observes into a histogram
+        # of the same registry, re-entering cells() on the same
+        # thread.  A plain Lock self-deadlocks there.
+        self._lock = threading.RLock()
         self._metrics: Dict[Tuple[str, LabelItems], object] = {}
         self._families: Dict[str, str] = {}  # name -> kind
 
@@ -452,11 +464,44 @@ def render_snapshot(
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Inside a label value exactly three characters are escaped:
+    backslash (``\\``), double-quote (``\"``), and line-feed (``\n``)
+    — backslash first, so the other escapes are unambiguous and the
+    encoding round-trips through :func:`unescape_label_value`.
+    """
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (for tests and scrapers)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            follower = value[index + 1]
+            if follower in ('"', "\\"):
+                out.append(follower)
+                index += 2
+                continue
+            if follower == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
 def _render_labels(items: LabelItems) -> str:
     if not items:
         return ""
     body = ",".join(
-        '{}="{}"'.format(key, value.replace("\\", r"\\").replace('"', r"\""))
-        for key, value in items
+        f'{key}="{escape_label_value(value)}"' for key, value in items
     )
     return "{" + body + "}"

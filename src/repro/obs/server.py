@@ -14,6 +14,15 @@ the lock-free registry read path handles exactly):
 ``POST /explain``         rank a document with explanations — body is raw
                           text or ``{"text": ..., "top": N}`` JSON
 ``GET /traces/recent``    the tracer's bounded ring of sampled traces
+``GET /debug/profile``    run the sampling stack profiler for
+                          ``?seconds=N`` (default 2, cap 60) at
+                          ``?hz=H`` and return collapsed stacks
+                          (``?format=json`` for the call tree)
+``GET /debug/heap``       tracemalloc state, per-stage net allocations,
+                          store resident bytes; ``?tracemalloc=on|off``
+                          toggles tracing, ``?top=N`` adds allocation
+                          sites
+``GET /debug/gc``         collector counts/thresholds + observed pauses
 ========================  ====================================================
 
 The server instruments itself into the same registry it exposes:
@@ -34,15 +43,28 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
+from urllib.parse import parse_qs
 
+from repro.obs.profile import GcMonitor, HeapProfiler, StackSampler
 from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.obs.trace import Tracer
 
 __all__ = ["TelemetryServer", "ROUTES"]
 
-ROUTES = ("/metrics", "/healthz", "/readyz", "/explain", "/traces/recent")
+ROUTES = (
+    "/metrics",
+    "/healthz",
+    "/readyz",
+    "/explain",
+    "/traces/recent",
+    "/debug/profile",
+    "/debug/heap",
+    "/debug/gc",
+)
 
 _MAX_EXPLAIN_BYTES = 4 * 1024 * 1024  # refuse absurd request bodies
+_MAX_PROFILE_SECONDS = 60.0
+_MAX_PROFILE_HZ = 997.0
 
 
 class _TelemetryHTTPServer(ThreadingHTTPServer):
@@ -87,6 +109,14 @@ class TelemetryServer:
         self._thread: Optional[threading.Thread] = None
         self._m_requests: Dict = {}
         self._m_seconds: Dict = {}
+        # /debug surfaces: GC pauses are monitored for the server's whole
+        # life (the callbacks are nearly free); tracemalloc stays off
+        # until a /debug/heap?tracemalloc=on asks for it; at most one
+        # /debug/profile run at a time (two samplers would fight over
+        # the stage-tracking flag).
+        self.gc_monitor = GcMonitor(registry=registry).start()
+        self.heap = HeapProfiler(registry=registry)
+        self._profile_lock = threading.Lock()
         self._httpd = _TelemetryHTTPServer((host, port), _TelemetryHandler)
         self._httpd.telemetry = self
 
@@ -121,6 +151,8 @@ class TelemetryServer:
     def stop(self) -> None:
         self._httpd.shutdown()
         self._httpd.server_close()
+        self.gc_monitor.stop()
+        self.heap.stop()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -204,8 +236,76 @@ class TelemetryServer:
             "explanations": [e.to_dict() for e in explanations],
         }
 
+    # -- /debug surfaces ---------------------------------------------------
+
+    def profile(
+        self,
+        seconds: float,
+        hz: float,
+        fmt: str = "collapsed",
+    ):
+        """Run the stack sampler for *seconds*; returns (payload, type).
+
+        The request thread sleeps while the sampler's daemon thread
+        walks the other threads — exactly the production use: profile
+        the serving traffic without stopping it.
+        """
+        seconds = min(max(float(seconds), 0.05), _MAX_PROFILE_SECONDS)
+        hz = min(max(float(hz), 1.0), _MAX_PROFILE_HZ)
+        if fmt not in ("collapsed", "json", "top"):
+            raise ValueError(f"unknown profile format {fmt!r}")
+        if not self._profile_lock.acquire(blocking=False):
+            raise _Conflict("a /debug/profile run is already in progress")
+        try:
+            with StackSampler(hz=hz, registry=self.registry) as sampler:
+                time.sleep(seconds)
+            if fmt == "collapsed":
+                return (
+                    sampler.collapsed().encode("utf-8"),
+                    "text/plain; charset=utf-8",
+                )
+            body = {
+                "profile": sampler.stats(),
+                "top_stacks": sampler.top_stacks(10),
+                "top_functions": sampler.top_functions(10),
+            }
+            if fmt == "json":
+                body["call_tree"] = sampler.call_tree()
+            return (
+                (json.dumps(body, sort_keys=True) + "\n").encode("utf-8"),
+                "application/json",
+            )
+        finally:
+            self._profile_lock.release()
+
+    def heap_debug(
+        self, top: int = 0, tracemalloc_toggle: Optional[str] = None
+    ) -> Dict[str, object]:
+        """The /debug/heap body: heap state + store resident bytes."""
+        if tracemalloc_toggle == "on":
+            self.heap.start()
+        elif tracemalloc_toggle == "off":
+            self.heap.stop()
+        elif tracemalloc_toggle is not None:
+            raise ValueError("tracemalloc must be 'on' or 'off'")
+        body: Dict[str, object] = {"heap": self.heap.stats()}
+        if top:
+            body["top_allocations"] = self.heap.top_allocations(top)
+        if self.service is not None and hasattr(
+            self.service, "observe_resident_bytes"
+        ):
+            body["resident_bytes"] = self.service.observe_resident_bytes()
+        return body
+
+    def gc_debug(self) -> Dict[str, object]:
+        return self.gc_monitor.snapshot()
+
 
 class _ServiceUnavailable(RuntimeError):
+    pass
+
+
+class _Conflict(RuntimeError):
     pass
 
 
@@ -225,6 +325,10 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
     def _route(self) -> str:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         return path if path in ROUTES else "other"
+
+    def _query(self) -> Dict[str, list]:
+        parts = self.path.split("?", 1)
+        return parse_qs(parts[1]) if len(parts) == 2 else {}
 
     def _observe(self, status: int) -> None:
         if self._observed:
@@ -263,6 +367,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
             self._dispatch(method, self._route_name)
         except _ServiceUnavailable as error:
             self._reply_json(503, {"error": str(error)})
+        except _Conflict as error:
+            self._reply_json(409, {"error": str(error)})
         except (ValueError, KeyError, TypeError) as error:
             self._reply_json(400, {"error": str(error)})
         except BrokenPipeError:  # client went away mid-response
@@ -297,13 +403,37 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         if method == "GET" and route == "/traces/recent":
             self._reply_json(200, {"traces": list(telemetry.tracer.recent)})
             return 200
+        if method == "GET" and route == "/debug/profile":
+            query = self._query()
+            payload, content_type = telemetry.profile(
+                seconds=float(query.get("seconds", ["2"])[0]),
+                hz=float(query.get("hz", ["97"])[0]),
+                fmt=query.get("format", ["collapsed"])[0],
+            )
+            self._reply(200, payload, content_type)
+            return 200
+        if method == "GET" and route == "/debug/heap":
+            query = self._query()
+            toggle = query.get("tracemalloc", [None])[0]
+            self._reply_json(
+                200,
+                telemetry.heap_debug(
+                    top=int(query.get("top", ["0"])[0]),
+                    tracemalloc_toggle=toggle,
+                ),
+            )
+            return 200
+        if method == "GET" and route == "/debug/gc":
+            self._reply_json(200, telemetry.gc_debug())
+            return 200
         if method == "POST" and route == "/explain":
             text, top = self._explain_request()
             self._reply_json(200, telemetry.explain(text, top))
             return 200
         if route == "/explain" or (
             method == "POST" and route in ("/metrics", "/healthz", "/readyz",
-                                           "/traces/recent")
+                                           "/traces/recent", "/debug/profile",
+                                           "/debug/heap", "/debug/gc")
         ):
             self._reply_json(405, {"error": f"{method} not allowed on {route}"})
             return 405

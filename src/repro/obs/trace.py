@@ -31,6 +31,7 @@ from __future__ import annotations
 import functools
 import itertools
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -44,7 +45,67 @@ __all__ = [
     "Span",
     "Trace",
     "Tracer",
+    "active_stages",
+    "mark_stage",
+    "set_stage_tracking",
+    "stage_tracking_enabled",
 ]
+
+
+# -- thread -> stage map (for the sampling profiler) -----------------------
+#
+# The stack sampler (repro.obs.profile) attributes CPU samples to the
+# stage the sampled thread was executing.  Spans and the serving path
+# publish their current stage here — but only while a sampler has
+# switched tracking on, so the instrumented hot path pays exactly one
+# module-global bool check per stage boundary when nothing is
+# profiling.  The map is a flat {thread ident -> stage name} dict:
+# writers save/restore the previous value around nested spans, and the
+# GIL makes the int-keyed set/get/delete atomic enough for a sampler
+# that only ever *reads*.
+
+_STAGE_TRACKING = False
+_THREAD_STAGES: Dict[int, str] = {}
+
+
+def set_stage_tracking(enabled: bool) -> bool:
+    """Turn the thread->stage map on/off; returns the previous state.
+
+    Off also clears the map, so a finished profiling session never
+    leaves stale attributions behind.
+    """
+    global _STAGE_TRACKING
+    previous = _STAGE_TRACKING
+    _STAGE_TRACKING = bool(enabled)
+    if not _STAGE_TRACKING:
+        _THREAD_STAGES.clear()
+    return previous
+
+
+def stage_tracking_enabled() -> bool:
+    return _STAGE_TRACKING
+
+
+def mark_stage(stage: Optional[str]) -> Optional[str]:
+    """Set (None: clear) the calling thread's stage; returns the old one.
+
+    No-op unless stage tracking is enabled.  Callers that nest restore
+    the returned previous value on exit.
+    """
+    if not _STAGE_TRACKING:
+        return None
+    ident = threading.get_ident()
+    previous = _THREAD_STAGES.get(ident)
+    if stage is None:
+        _THREAD_STAGES.pop(ident, None)
+    else:
+        _THREAD_STAGES[ident] = stage
+    return previous
+
+
+def active_stages() -> Dict[int, str]:
+    """A point-in-time copy of {thread ident -> current stage}."""
+    return dict(_THREAD_STAGES)
 
 
 class Span:
@@ -227,24 +288,49 @@ class JsonLinesTraceSink:
                 and self._size > 0
                 and self._size + encoded > self.max_bytes
             ):
-                self._rotate()
+                try:
+                    self._rotate()
+                except OSError:
+                    # A failed shift (permissions, a vanished directory,
+                    # a crash-recovery race) must not drop the record:
+                    # _rotate's finally clause re-opened the live file,
+                    # so appending there keeps the stream ordered and a
+                    # later write retries the rotation.
+                    pass
             self._handle.write(line)
             self._handle.flush()
             self._size += encoded
 
     def _rotate(self) -> None:
-        """Shift path -> path.1 -> ... -> path.keep (caller holds lock)."""
+        """Shift path -> path.1 -> ... -> path.keep (caller holds lock).
+
+        The live file is fsynced *before* any rename: once ``path``
+        shows up as ``path.1`` its records are durably on disk, so a
+        crash in the middle of the shift can only leave a gap between
+        generations, never two files whose records interleave.  The
+        shift runs oldest-first for the same reason — at every
+        intermediate state generation numbers still increase with age.
+        """
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.close()
-        oldest = Path(f"{self._path}.{self.keep}")
-        if oldest.exists():
-            oldest.unlink()
-        for generation in range(self.keep - 1, 0, -1):
-            source = Path(f"{self._path}.{generation}")
-            if source.exists():
-                source.rename(f"{self._path}.{generation + 1}")
-        Path(self._path).rename(f"{self._path}.1")
-        self._handle = open(self._path, "a", encoding="utf-8")
-        self._size = 0
+        try:
+            oldest = Path(f"{self._path}.{self.keep}")
+            if oldest.exists():
+                oldest.unlink()
+            for generation in range(self.keep - 1, 0, -1):
+                source = Path(f"{self._path}.{generation}")
+                if source.exists():
+                    source.rename(f"{self._path}.{generation + 1}")
+            Path(self._path).rename(f"{self._path}.1")
+        finally:
+            # Reopen whatever `path` now is: a fresh file after a
+            # completed rotation, or the still-live one after a failed
+            # shift.  A mid-rotation error therefore never leaves the
+            # sink without a handle, and appends always land in the
+            # newest generation.
+            self._handle = open(self._path, "a", encoding="utf-8")
+            self._size = self._handle.tell()
 
     def close(self) -> None:
         with self._lock:
@@ -261,13 +347,17 @@ class JsonLinesTraceSink:
 class _TracerSpan:
     """``tracer.span(stage)`` — context manager and decorator."""
 
-    __slots__ = ("_tracer", "_stage", "_started", "_span", "_context")
+    __slots__ = ("_tracer", "_stage", "_started", "_span", "_context",
+                 "_previous_stage", "_marked")
 
     def __init__(self, tracer: "Tracer", stage: str):
         self._tracer = tracer
         self._stage = stage
 
     def __enter__(self) -> Span:
+        self._marked = _STAGE_TRACKING
+        if self._marked:
+            self._previous_stage = mark_stage(self._stage)
         trace = self._tracer.current()
         self._context = trace.span(self._stage)
         self._span = self._context.__enter__()
@@ -281,6 +371,8 @@ class _TracerSpan:
         self._context.__exit__(*exc_info)
         if not self._span.duration:
             self._span.duration = seconds
+        if self._marked:
+            mark_stage(self._previous_stage)
         self._tracer._observe_stage(self._stage, seconds)
 
     def __call__(self, fn):

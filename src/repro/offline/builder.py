@@ -180,7 +180,10 @@ class _StageClock:
     the :class:`BuildReport` is the very same measurement that feeds the
     ``span_seconds{stage=...}`` histograms and the sampled build trace —
     the ad-hoc timing dict and the observability surface cannot drift
-    apart.
+    apart.  The span also publishes the stage to the profiler's
+    thread→stage map, and a ``heap_stage`` bracket attributes the
+    stage's net allocations when a :class:`~repro.obs.profile.
+    HeapProfiler` is active (both no-ops otherwise).
     """
 
     def __init__(self, tracer: Tracer):
@@ -188,7 +191,9 @@ class _StageClock:
         self._tracer = tracer
 
     def run(self, name: str, items: int, unit: str, thunk):
-        with self._tracer.span(name) as span:
+        from repro.obs.profile import heap_stage
+
+        with self._tracer.span(name) as span, heap_stage(name):
             result = thunk()
         self.stages.append(StageStats(name, span.duration, items, unit))
         return result

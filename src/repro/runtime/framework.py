@@ -51,6 +51,7 @@ from repro.obs import (
     get_registry,
     get_tracer,
 )
+from repro.obs.trace import mark_stage, stage_tracking_enabled
 from repro.ranking.model import ConceptRanker, FeatureAssembler
 from repro.ranking.ranksvm import RankSVM
 from repro.runtime.compressed import CompressedRelevanceStore
@@ -134,12 +135,14 @@ class TimingStats:
         self._counters[name]._set_total(value)
 
     def _rate(self, seconds: float) -> float:
-        """MB/s over the accumulated byte count; 0.0 before any work.
+        """MB/s over the accumulated byte count; ``nan`` before any work.
 
         Guards every division edge: zero/negative/non-finite seconds
-        and a zero byte count all report 0.0 rather than raising or
-        propagating inf/NaN (e.g. rates read before any document, or
-        after merging only zero-byte stats objects).
+        and a zero byte count all report ``nan`` ("no measurement")
+        rather than raising or propagating inf — consistent with
+        :meth:`~repro.obs.registry.Histogram.quantile` on an empty
+        histogram, and unlike 0.0 never mistakable for a measured
+        zero-throughput run.
         """
         bytes_processed = self.bytes_processed
         if (
@@ -147,7 +150,7 @@ class TimingStats:
             or not math.isfinite(seconds)
             or bytes_processed <= 0
         ):
-            return 0.0
+            return float("nan")
         return bytes_processed / seconds / 1e6
 
     @property
@@ -169,7 +172,7 @@ class TimingStats:
     @property
     def detections_per_document(self) -> float:
         documents = self.documents
-        return self.detections / documents if documents else 0.0
+        return self.detections / documents if documents else float("nan")
 
     def record_document(
         self,
@@ -359,6 +362,26 @@ class RankerService:
         """Fresh legacy stats view (registry counters stay cumulative)."""
         self.stats = TimingStats()
 
+    def observe_resident_bytes(self) -> dict:
+        """Measure the serving stores' payload bytes into the registry.
+
+        Sets ``resident_bytes{component=...}`` gauges for the quantized
+        interestingness matrix, the relevance arena (including a
+        compressed store's decode cache), and the feature arena, and
+        returns the measured map — the ``/debug/heap`` surface calls
+        this per scrape, so the gauges track cache growth live.
+        """
+        from repro.obs.profile import record_resident_bytes
+
+        components = {"interestingness_store": self._store}
+        relevance = self._assembler.relevance_scorer
+        if relevance is not None:
+            components["relevance_store"] = relevance
+        arena = getattr(self._assembler, "_numeric_arena", None)
+        if arena is not None:
+            components["feature_arena"] = arena
+        return record_resident_bytes(components, registry=self._registry)
+
     def _explainable_ranker(self):
         """The explain-path twin of the ranker (built on first use)."""
         if self._explainer is None:
@@ -391,6 +414,12 @@ class RankerService:
     ):
         """One document through the single-pass path, timed into *stats*."""
         trace = self._tracer.start("process")
+        # Publish the stage the thread is in for the sampling profiler
+        # (repro.obs.profile) — one module-global bool check per stage
+        # boundary when nothing is profiling, so the hot path stays hot.
+        marking = stage_tracking_enabled()
+        if marking:
+            mark_stage("stemmer")
         started = time.perf_counter()
         document = TokenizedDocument(text)
         # The Stemmer component's pass: tokenize once, stem once.  The
@@ -402,8 +431,12 @@ class RankerService:
         self._pipeline.stem_document(document)
         stem_done = time.perf_counter()
 
+        if marking:
+            mark_stage("detect")
         annotated = self._pipeline.process_document(document)
         detect_done = time.perf_counter()
+        if marking:
+            mark_stage("rank")
 
         known = [
             d for d in annotated.rankable() if d.phrase in self._store
@@ -427,6 +460,8 @@ class RankerService:
             if explanations is not None:
                 explanations = explanations[:top]
         rank_done = time.perf_counter()
+        if marking:
+            mark_stage(None)
 
         stem_seconds = stem_done - started
         detect_seconds = detect_done - stem_done

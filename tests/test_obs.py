@@ -9,7 +9,10 @@ service/builder span surfaces.
 """
 
 import json
+import math
+import os
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -23,11 +26,13 @@ from repro.obs import (
     NullHistogram,
     Tracer,
     configure,
+    escape_label_value,
     get_registry,
     get_tracer,
     render_snapshot,
     set_registry,
     set_tracer,
+    unescape_label_value,
 )
 from repro.ranking import RankSVM
 from repro.runtime import (
@@ -121,11 +126,42 @@ class TestRegistry:
         assert registry.snapshot() == {}
         assert registry.render_prometheus() == ""
 
+    def test_prometheus_label_escaping_round_trip(self):
+        """Exposition-format escaping: backslash, double-quote, and
+        newline in label values must render escaped and parse back to
+        the original string (backslash first, or round-trip breaks)."""
+        hostile = 'pack "v2"\nC:\\data\\packs'
+        escaped = escape_label_value(hostile)
+        assert "\n" not in escaped
+        assert escaped == 'pack \\"v2\\"\\nC:\\\\data\\\\packs'
+        assert unescape_label_value(escaped) == hostile
+        # a value that is *already* escape-looking must survive too
+        tricky = "trailing backslash \\ and literal \\n"
+        assert unescape_label_value(escape_label_value(tricky)) == tricky
+
+    def test_prometheus_render_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "loads_total", path='C:\\packs\n"v2"'
+        ).inc()
+        text = registry.render_prometheus()
+        line = next(
+            l for l in text.splitlines() if l.startswith("repro_loads_total{")
+        )
+        # one physical line, quotes and backslashes escaped per the
+        # Prometheus exposition format
+        assert line == (
+            'repro_loads_total{path="C:\\\\packs\\n\\"v2\\""} 1'
+        )
+
     def test_quantile_empty_histogram(self):
+        """No observations means *no answer* — nan, never a made-up
+        0.0 that reads as "the p50 was instant"."""
         hist = MetricsRegistry().histogram("empty", buckets=(1, 10))
-        assert hist.quantile(0.0) == 0.0
-        assert hist.quantile(0.5) == 0.0
-        assert hist.quantile(1.0) == 0.0
+        assert math.isnan(hist.quantile(0.0))
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.quantile(1.0))
+        assert math.isnan(NullHistogram().quantile(0.5))
 
     def test_quantile_q0_skips_empty_leading_buckets(self):
         """q=0 means the minimum, which lives in the first *populated*
@@ -332,6 +368,72 @@ class TestTracer:
         assert json.loads(path.read_text())["kind"] == "new"
         assert (tmp_path / "traces.jsonl.1").exists()
 
+    def test_sink_rotation_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        """Durability ordering: once ``path.1`` exists its records are
+        on disk — the live file must be fsynced before any rename."""
+        events = []
+        real_fsync = os.fsync
+        real_rename = Path.rename
+
+        def recording_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def recording_rename(source, target):
+            events.append(f"rename:{Path(source).name}")
+            return real_rename(source, target)
+
+        monkeypatch.setattr("repro.obs.trace.os.fsync", recording_fsync)
+        monkeypatch.setattr(Path, "rename", recording_rename)
+        record = {"kind": "req", "n": 0}
+        line_bytes = len(json.dumps(record, sort_keys=True)) + 1
+        sink = JsonLinesTraceSink(tmp_path / "traces.jsonl",
+                                  max_bytes=line_bytes, keep=2)
+        try:
+            sink.write({"kind": "req", "n": 0})
+            sink.write({"kind": "req", "n": 1})  # triggers one rotation
+        finally:
+            sink.close()
+        assert "rename:traces.jsonl" in events
+        assert events.index("fsync") < events.index("rename:traces.jsonl")
+
+    def test_sink_recovers_from_crash_mid_rotation(self, tmp_path,
+                                                   monkeypatch):
+        """A rename failing mid-shift (crash-recovery race, vanished
+        directory) must not lose the record or wedge the sink: the
+        write lands in the reopened live file and the next write
+        retries the rotation."""
+        path = tmp_path / "traces.jsonl"
+        record = {"kind": "req", "n": 0}
+        line_bytes = len(json.dumps(record, sort_keys=True)) + 1
+        sink = JsonLinesTraceSink(path, max_bytes=line_bytes, keep=3)
+        real_rename = Path.rename
+        armed = {"fail": False}
+
+        def flaky_rename(source, target):
+            if armed["fail"]:
+                armed["fail"] = False
+                raise OSError("simulated crash during the shift")
+            return real_rename(source, target)
+
+        monkeypatch.setattr(Path, "rename", flaky_rename)
+        try:
+            sink.write({"kind": "req", "n": 0})  # fills the live file
+            armed["fail"] = True
+            sink.write({"kind": "req", "n": 1})  # rotation fails mid-shift
+            # no generation was produced, but the record is on disk in
+            # order — the failed shift reopened the live file
+            assert not (tmp_path / "traces.jsonl.1").exists()
+            live = path.read_text().strip().splitlines()
+            assert [json.loads(l)["n"] for l in live] == [0, 1]
+            sink.write({"kind": "req", "n": 2})  # retries, now succeeds
+        finally:
+            sink.close()
+        live = path.read_text().strip().splitlines()
+        gen1 = (tmp_path / "traces.jsonl.1").read_text().strip().splitlines()
+        assert [json.loads(l)["n"] for l in live] == [2]
+        assert [json.loads(l)["n"] for l in gen1] == [0, 1]
+
     def test_sink_rejects_bad_rotation_params(self, tmp_path):
         with pytest.raises(ValueError):
             JsonLinesTraceSink(tmp_path / "t.jsonl", max_bytes=0)
@@ -351,22 +453,25 @@ class TestTracer:
 
 class TestTimingStats:
     def test_rate_zero_guards(self):
+        """No measured work means the rate is *unknown* — nan, matching
+        the empty-histogram quantile convention (0.0 would read as "we
+        measured this and it was zero MB/s")."""
         stats = TimingStats()
-        assert stats.stemmer_mb_per_second == 0.0
-        assert stats.ranker_mb_per_second == 0.0
-        assert stats.detections_per_document == 0.0
-        # bytes without seconds (and vice versa) still report 0.0
+        assert math.isnan(stats.stemmer_mb_per_second)
+        assert math.isnan(stats.ranker_mb_per_second)
+        assert math.isnan(stats.detections_per_document)
+        # bytes without seconds (and vice versa) are equally unknown
         stats.bytes_processed = 1000
-        assert stats.stemmer_mb_per_second == 0.0
+        assert math.isnan(stats.stemmer_mb_per_second)
         stats.bytes_processed = 0
         stats.stemmer_seconds = 1.0
-        assert stats.stemmer_mb_per_second == 0.0
+        assert math.isnan(stats.stemmer_mb_per_second)
 
     def test_rate_non_finite_guard(self):
         stats = TimingStats(bytes_processed=100)
-        assert stats._rate(float("nan")) == 0.0
-        assert stats._rate(float("inf")) == 0.0
-        assert stats._rate(-1.0) == 0.0
+        assert math.isnan(stats._rate(float("nan")))
+        assert math.isnan(stats._rate(float("inf")))
+        assert math.isnan(stats._rate(-1.0))
 
     def test_merge_zero_byte_stats_is_safe(self):
         left = TimingStats(stemmer_seconds=1.0, bytes_processed=2_000_000)
@@ -396,15 +501,15 @@ class TestTimingStats:
         assert left.detections == 7
 
     def test_merge_zero_duration_side(self):
-        """Merging a side with documents but no elapsed time must keep
-        every rate finite (0.0, never a ZeroDivision/inf)."""
+        """Merging a side with documents but no elapsed time must never
+        raise (ZeroDivision) or go infinite — no-data rates are nan."""
         left = TimingStats(documents=2, detections=4)  # no seconds, no bytes
         right = TimingStats(bytes_processed=500, documents=1)  # zero seconds
         left.merge(right)
         assert left.documents == 3
         assert left.bytes_processed == 500
-        assert left.stemmer_mb_per_second == 0.0
-        assert left.ranker_mb_per_second == 0.0
+        assert math.isnan(left.stemmer_mb_per_second)
+        assert math.isnan(left.ranker_mb_per_second)
         # and the mirror: real work absorbs a zero-duration side intact
         busy = TimingStats(stemmer_seconds=1.0, bytes_processed=1_000_000)
         busy.merge(TimingStats(documents=5))

@@ -1,6 +1,7 @@
 """Telemetry HTTP server: every endpoint against a live ephemeral port."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -230,5 +231,90 @@ class TestServerWithoutService:
 
     def test_route_table_is_complete(self):
         assert set(ROUTES) == {
-            "/metrics", "/healthz", "/readyz", "/explain", "/traces/recent"
+            "/metrics", "/healthz", "/readyz", "/explain", "/traces/recent",
+            "/debug/profile", "/debug/heap", "/debug/gc",
         }
+
+
+class TestDebugEndpoints:
+    def test_profile_collapsed_default(self, stack):
+        status, body = _get(stack.url + "/debug/profile?seconds=0.2")
+        assert status == 200
+        for line in body.strip().splitlines():
+            stack_part, __, count = line.rpartition(" ")
+            assert int(count) > 0
+            assert ";" in stack_part or stack_part  # frame;frame count
+
+    def test_profile_top_and_json_formats(self, stack):
+        status, body = _get(
+            stack.url + "/debug/profile?seconds=0.2&format=top&hz=200"
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["profile"]["sample_ticks"] > 0
+        assert payload["profile"]["hz"] == 200
+        assert "top_stacks" in payload and "top_functions" in payload
+        status, body = _get(
+            stack.url + "/debug/profile?seconds=0.2&format=json"
+        )
+        assert status == 200
+        tree = json.loads(body)["call_tree"]
+        assert tree["name"] == "root"
+        assert isinstance(tree["children"], list)
+
+    def test_profile_bad_params_400(self, stack):
+        status, __ = _get(stack.url + "/debug/profile?seconds=abc")
+        assert status == 400
+        status, __ = _get(stack.url + "/debug/profile?format=flame")
+        assert status == 400
+
+    def test_profile_concurrent_runs_conflict(self, stack):
+        import threading
+
+        results = []
+
+        def scrape():
+            results.append(
+                _get(stack.url + "/debug/profile?seconds=1")[0]
+            )
+
+        first = threading.Thread(target=scrape)
+        first.start()
+        time.sleep(0.3)  # let the first scrape take the lock
+        status, body = _get(stack.url + "/debug/profile?seconds=0.1")
+        first.join()
+        assert results == [200]
+        assert status == 409
+        assert "in progress" in json.loads(body)["error"]
+
+    def test_heap_toggle_and_report(self, stack):
+        status, body = _get(stack.url + "/debug/heap?tracemalloc=on")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["heap"]["tracing"] is True
+        # the serving stack reports its stores' resident bytes
+        resident = payload["resident_bytes"]
+        assert resident["interestingness_store"] > 0
+        assert resident["relevance_store"] > 0
+        status, body = _get(stack.url + "/debug/heap?top=3")
+        payload = json.loads(body)
+        assert len(payload["top_allocations"]) <= 3
+        for row in payload["top_allocations"]:
+            assert row["size_bytes"] >= 0
+        status, body = _get(stack.url + "/debug/heap?tracemalloc=off")
+        assert json.loads(body)["heap"]["tracing"] is False
+        status, __ = _get(stack.url + "/debug/heap?tracemalloc=maybe")
+        assert status == 400
+
+    def test_gc_report(self, stack):
+        status, body = _get(stack.url + "/debug/gc")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["monitoring"] is True
+        assert len(payload["counts"]) == 3
+        assert payload["pauses"]["count"] >= 0
+
+    def test_post_to_debug_routes_405(self, stack):
+        for route in ("/debug/profile", "/debug/heap", "/debug/gc"):
+            status, __ = _post(stack.url + route, "{}")
+            assert status == 405
